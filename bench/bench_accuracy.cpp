@@ -1,0 +1,73 @@
+// bench_accuracy — what the paper could not measure: Hobbit scored
+// against the simulator's ground truth.
+//
+// The paper argues its error bounds statistically (the 95 % stopping
+// rule; the <0.1 % false-positive check for the §4.2 criteria).  With
+// route entries as first-class simulator objects we can report the full
+// confusion matrix of the homogeneity verdict, the §4.2 flag's precision,
+// and how pure/complete the aggregated blocks are.
+
+#include <iostream>
+
+#include "analysis/evaluation.h"
+#include "analysis/report.h"
+#include "common.h"
+
+int main() {
+  using namespace hobbit;
+  bench::PrintHeader("Ground-truth accuracy of Hobbit",
+                     "simulator-only evaluation (DESIGN.md §2)");
+
+  const bench::World& world = bench::GetWorld();
+
+  analysis::VerdictEvaluation verdicts =
+      analysis::EvaluateVerdicts(world.internet, world.pipeline);
+  analysis::TextTable confusion(
+      {"", "truth homogeneous", "truth heterogeneous"});
+  confusion.AddRow({"said homogeneous",
+                    std::to_string(verdicts.true_homogeneous),
+                    std::to_string(verdicts.false_homogeneous)});
+  confusion.AddRow({"said hierarchical",
+                    std::to_string(verdicts.false_heterogeneous),
+                    std::to_string(verdicts.true_heterogeneous)});
+  confusion.Print(std::cout);
+  std::cout << "accuracy " << analysis::Pct(verdicts.Accuracy())
+            << ", homogeneous precision "
+            << analysis::Pct(verdicts.HomogeneousPrecision())
+            << " / recall "
+            << analysis::Pct(verdicts.HomogeneousRecall())
+            << ", heterogeneous precision "
+            << analysis::Pct(verdicts.HeterogeneousPrecision())
+            << " / recall "
+            << analysis::Pct(verdicts.HeterogeneousRecall()) << "\n"
+            << "(the paper's 95% stopping rule predicts homogeneous "
+               "recall >= ~95%)\n\n";
+
+  analysis::FlagEvaluation flag =
+      analysis::EvaluateAlignedDisjointFlag(world.internet, world.pipeline);
+  std::cout << "aligned-disjoint flag: " << flag.flagged
+            << " /24s flagged, precision "
+            << analysis::Pct(flag.Precision())
+            << "   (paper: homogeneous blocks pass the criteria at "
+               "< 0.1%)\n\n";
+
+  analysis::AggregationEvaluation exact =
+      analysis::EvaluateAggregation(world.internet, world.aggregates);
+  analysis::AggregationEvaluation final_blocks =
+      analysis::EvaluateAggregation(world.internet, world.final_blocks);
+  analysis::TextTable agg({"aggregation", "blocks", "purity",
+                           "mean completeness"});
+  agg.AddRow({"identical sets (§5)", std::to_string(exact.blocks),
+              analysis::Pct(exact.Purity()),
+              analysis::Pct(exact.mean_completeness)});
+  agg.AddRow({"+ MCL + reprobe (§6)",
+              std::to_string(final_blocks.blocks),
+              analysis::Pct(final_blocks.Purity()),
+              analysis::Pct(final_blocks.mean_completeness)});
+  agg.Print(std::cout);
+  std::cout << "\nreading: exact aggregation is conservative (high purity, "
+               "low completeness — partial last-hop sets fragment true "
+               "blocks); validated MCL merging buys completeness at "
+               "almost no purity cost\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// bench_fig7 — reproduces Figure 7: "The length distribution of the
+// longest common prefixes between (a) adjacent /24s within homogeneous
+// blocks (b) the smallest and the largest /24s".
+//
+// Paper: (a) >30% of adjacent pairs share 23 bits and ~70% share >= 20 —
+// members are largely contiguous; (b) ~40% of blocks span nearly the
+// whole address space (LCP 0-1) while only ~5% stay within one /23 —
+// blocks are made of scattered contiguous runs.
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/adjacency.h"
+#include "analysis/report.h"
+#include "common.h"
+
+int main() {
+  using namespace hobbit;
+  bench::PrintHeader("Figure 7: numerical adjacency of /24s in blocks",
+                     "paper §5.3");
+
+  const bench::World& world = bench::GetWorld();
+  std::vector<std::size_t> adjacent_hist(24, 0);
+  std::vector<std::size_t> endtoend_hist(25, 0);
+  std::size_t adjacent_total = 0, multi_blocks = 0;
+  for (const cluster::AggregateBlock& block : world.final_blocks) {
+    if (block.member_24s.size() < 2) continue;
+    ++multi_blocks;
+    for (int lcp : analysis::AdjacentLcpLengths(block)) {
+      ++adjacent_hist[static_cast<std::size_t>(lcp)];
+      ++adjacent_total;
+    }
+    ++endtoend_hist[static_cast<std::size_t>(
+        analysis::EndToEndLcpLength(block))];
+  }
+
+  std::cout << "(a) adjacent-pair LCP distribution (" << adjacent_total
+            << " pairs in " << multi_blocks << " multi-/24 blocks)\n";
+  analysis::TextTable table_a({"LCP length", "share"});
+  std::size_t ge20 = 0;
+  for (int lcp = 23; lcp >= 0; --lcp) {
+    double share = static_cast<double>(adjacent_hist[lcp]) /
+                   static_cast<double>(adjacent_total);
+    if (lcp >= 20) ge20 += adjacent_hist[lcp];
+    if (share >= 0.005) {
+      table_a.AddRow({std::to_string(lcp), analysis::Pct(share)});
+    }
+  }
+  table_a.Print(std::cout);
+  std::cout << "LCP 23 share: "
+            << analysis::Pct(static_cast<double>(adjacent_hist[23]) /
+                             adjacent_total)
+            << " (paper: >30%)   LCP >= 20 share: "
+            << analysis::Pct(static_cast<double>(ge20) / adjacent_total)
+            << " (paper: ~70%)\n\n";
+
+  std::cout << "(b) smallest-vs-largest LCP distribution\n";
+  analysis::TextTable table_b({"LCP length", "share"});
+  std::size_t le1 = endtoend_hist[0] + endtoend_hist[1];
+  for (int lcp = 0; lcp <= 24; ++lcp) {
+    double share = static_cast<double>(endtoend_hist[lcp]) /
+                   static_cast<double>(multi_blocks);
+    if (share >= 0.01) {
+      table_b.AddRow({std::to_string(lcp), analysis::Pct(share)});
+    }
+  }
+  table_b.Print(std::cout);
+  std::cout << "LCP <= 1 share: "
+            << analysis::Pct(static_cast<double>(le1) / multi_blocks)
+            << " (paper: ~40%)   LCP 23 share: "
+            << analysis::Pct(static_cast<double>(endtoend_hist[23]) /
+                             multi_blocks)
+            << " (paper: ~5%)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// bench_metric_choice — reproduces §3.1: "Last-hop vs entire traceroute".
+//
+// Paper: on homogeneous /24s whose addresses show *different last hops*,
+// Hobbit's hierarchy test recognises homogeneity for 92% of blocks when
+// applied to last-hop routers but only 70% when applied to entire
+// traceroutes — load-balancing inflates route-level cardinality, and
+// hashing then fakes hierarchy more often.
+
+#include <iostream>
+
+#include "analysis/report.h"
+#include "common.h"
+#include "route_corpus.h"
+
+int main() {
+  using namespace hobbit;
+  bench::PrintHeader("Metric choice: last-hop vs entire traceroute",
+                     "paper §3.1");
+
+  const bench::World& world = bench::GetWorld();
+  auto corpus = bench::CollectRouteCorpus(world, 250);
+
+  std::size_t eligible = 0;
+  std::size_t homogeneous_by_route = 0, homogeneous_by_lasthop = 0,
+              homogeneous_by_subpath = 0;
+  for (const bench::BlockRouteSet& block : corpus) {
+    // The paper's fair-comparison filter: only blocks whose last hops
+    // differ (identical last hops are trivially homogeneous for the
+    // last-hop metric).
+    auto [lasthop_card, by_lasthop] =
+        bench::HobbitOnMetric(block, bench::LastHopKeys);
+    if (lasthop_card < 2) continue;
+    ++eligible;
+    homogeneous_by_lasthop += by_lasthop;
+    auto [route_card, by_route] =
+        bench::HobbitOnMetric(block, bench::RouteKeys);
+    homogeneous_by_route += by_route;
+    std::size_t depth = bench::CommonRouterDepth(block);
+    auto [subpath_card, by_subpath] = bench::HobbitOnMetric(
+        block, [depth](const bench::RouteObservation& obs) {
+          return bench::SubPathKeys(obs, depth);
+        });
+    homogeneous_by_subpath += by_subpath;
+    (void)route_card;
+    (void)subpath_card;
+  }
+
+  analysis::TextTable table({"metric", "recognized homogeneous", "paper"});
+  auto pct = [&](std::size_t n) {
+    return analysis::Pct(static_cast<double>(n) /
+                         std::max<std::size_t>(1, eligible));
+  };
+  table.AddRow({"entire traceroute", pct(homogeneous_by_route), "70%"});
+  table.AddRow({"sub-path", pct(homogeneous_by_subpath), "-"});
+  table.AddRow({"last-hop router", pct(homogeneous_by_lasthop), "92%"});
+  table.Print(std::cout);
+  std::cout << "\neligible blocks (truth-homogeneous, differing last hops): "
+            << eligible << " of " << corpus.size() << " in corpus\n"
+            << "paper: the last-hop metric recovers 22% more homogeneous "
+               "blocks than whole traceroutes\n";
+  return 0;
+}

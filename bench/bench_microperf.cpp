@@ -1,0 +1,117 @@
+// bench_microperf — google-benchmark microbenchmarks of the hot paths:
+// FIB longest-prefix match, probe simulation, hierarchy testing, MCL and
+// the ZMap sweep.  These bound the wall-clock cost of the paper-scale
+// experiments (the paper probed 64.45M destinations; the harness must
+// sustain millions of simulated probes per second).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/mcl.h"
+#include "hobbit/hierarchy.h"
+#include "netsim/internet.h"
+#include "netsim/rng.h"
+#include "probing/zmap.h"
+
+namespace {
+
+using namespace hobbit;
+
+const netsim::Internet& SharedInternet() {
+  static netsim::Internet internet =
+      netsim::BuildInternet(netsim::TinyConfig(9));
+  return internet;
+}
+
+void BM_FibLookup(benchmark::State& state) {
+  const netsim::Internet& internet = SharedInternet();
+  // The core routers hold the largest tables.
+  const netsim::Router& core = internet.topology.router(5);
+  netsim::Rng rng(1);
+  std::vector<netsim::Ipv4Address> targets;
+  for (int i = 0; i < 512; ++i) {
+    targets.push_back(internet.study_24s[rng.NextBelow(
+                                             internet.study_24s.size())]
+                          .base());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.fib.Lookup(targets[i++ & 511]));
+  }
+}
+BENCHMARK(BM_FibLookup);
+
+void BM_SimulatorEchoProbe(benchmark::State& state) {
+  const netsim::Internet& internet = SharedInternet();
+  netsim::Rng rng(2);
+  std::vector<netsim::ProbeSpec> probes;
+  for (int i = 0; i < 512; ++i) {
+    netsim::ProbeSpec probe;
+    probe.destination = netsim::Ipv4Address(
+        internet.study_24s[rng.NextBelow(internet.study_24s.size())]
+            .base()
+            .value() +
+        static_cast<std::uint32_t>(rng.NextBelow(256)));
+    probe.ttl = 64;
+    probes.push_back(probe);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto probe = probes[i++ & 511];
+    probe.serial = i;
+    benchmark::DoNotOptimize(internet.simulator->Send(probe));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorEchoProbe);
+
+void BM_HierarchyTest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  netsim::Rng rng(3);
+  std::vector<core::AddressObservation> observations;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::AddressObservation obs;
+    obs.address = netsim::Ipv4Address(0x14000000u +
+                                      static_cast<std::uint32_t>(i));
+    obs.last_hops = {netsim::Ipv4Address(
+        0x0A000000u + static_cast<std::uint32_t>(rng.NextBelow(4)))};
+    observations.push_back(std::move(obs));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::HobbitSaysHomogeneous(observations));
+  }
+}
+BENCHMARK(BM_HierarchyTest)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MclTwoCliques(benchmark::State& state) {
+  cluster::Graph g;
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  g.vertex_count = 2 * k;
+  for (std::uint32_t base : {0u, k}) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = i + 1; j < k; ++j) {
+        g.edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+  }
+  g.edges.push_back({k - 1, k, 0.05});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::RunMcl(g));
+  }
+}
+BENCHMARK(BM_MclTwoCliques)->Arg(8)->Arg(32);
+
+void BM_ZmapScanPerBlock(benchmark::State& state) {
+  const netsim::Internet& internet = SharedInternet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        probing::RunZmapScan(internet, internet.study_24s));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(internet.study_24s.size()) * 256);
+}
+BENCHMARK(BM_ZmapScanPerBlock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

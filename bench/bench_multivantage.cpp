@@ -1,0 +1,106 @@
+// bench_multivantage — the §6.1 alternative the paper rejects: instead of
+// clustering similar /24s with MCL, probe them again from MORE vantage
+// points (and/or at other times) to complete their last-hop sets.
+//
+// Paper: "Probing /24s varying vantage points and times can alleviate
+// this problem, because some routers compute hashes for per-destination
+// load-balancing based on both the source and destination IP address...
+// However, the measurement load of this approach can be very heavy."
+//
+// This bench quantifies exactly that trade-off on blocks whose gateways
+// hash (src, dst): extra vantages recover last-hop interfaces a single
+// vantage never sees, at a proportional probe cost — versus MCL, which
+// recovers the aggregation at a fraction of the probes.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "analysis/report.h"
+#include "common.h"
+#include "hobbit/prober.h"
+#include "netsim/internet.h"
+
+int main() {
+  using namespace hobbit;
+  bench::PrintHeader("Multi-vantage reprobing vs clustering",
+                     "paper §6.1 (ablation)");
+
+  // A dedicated world with extra vantage points.
+  netsim::InternetConfig config;
+  config.seed = bench::WorldSeed();
+  config.scale = std::min(0.1, bench::WorldScale());
+  config.extra_vantages = 2;
+  netsim::Internet internet = netsim::BuildInternet(config);
+  auto sim_b = internet.MakeSimulatorAt(internet.extra_vantages[0]);
+  auto sim_c = internet.MakeSimulatorAt(internet.extra_vantages[1]);
+
+  probing::ZmapSnapshot snapshot =
+      probing::RunZmapScan(internet, internet.study_24s);
+  auto study = probing::SelectStudyBlocks(snapshot);
+
+  core::ProberOptions reprobe;
+  reprobe.reprobe_strategy = true;
+
+  // The effect lives where the paper says it does: blocks with FEW
+  // responsive addresses, whose single-vantage sample cannot cover the
+  // gateway set.
+  constexpr std::size_t kMaxUsable = 10;
+  std::size_t blocks = 0;
+  std::size_t grew_with_second = 0, grew_with_third = 0;
+  std::uint64_t probes_1 = 0, probes_3 = 0;
+  double set_ratio_sum = 0;
+  for (std::size_t i = 0; i < study.size() && blocks < 400; i += 3) {
+    core::BlockProber p1(internet.simulator.get(), nullptr, reprobe);
+    core::BlockProber p2(sim_b.get(), nullptr, reprobe);
+    core::BlockProber p3(sim_c.get(), nullptr, reprobe);
+    core::BlockResult r1 = p1.ProbeBlock(study[i], netsim::Rng(900 + i));
+    if (r1.last_hop_set.empty()) continue;
+    if (r1.observations.size() > kMaxUsable) continue;
+    core::BlockResult r2 = p2.ProbeBlock(study[i], netsim::Rng(901 + i));
+    core::BlockResult r3 = p3.ProbeBlock(study[i], netsim::Rng(902 + i));
+    ++blocks;
+    probes_1 += p1.probes_sent();
+    probes_3 += p1.probes_sent() + p2.probes_sent() + p3.probes_sent();
+
+    auto union_size = [&](const core::BlockResult& a,
+                          const core::BlockResult& b,
+                          const core::BlockResult* c) {
+      std::map<netsim::Ipv4Address, bool> u;
+      for (auto r : a.last_hop_set) u[r] = true;
+      for (auto r : b.last_hop_set) u[r] = true;
+      if (c != nullptr) {
+        for (auto r : c->last_hop_set) u[r] = true;
+      }
+      return u.size();
+    };
+    std::size_t one = r1.last_hop_set.size();
+    std::size_t two = union_size(r1, r2, nullptr);
+    std::size_t three = union_size(r1, r2, &r3);
+    grew_with_second += two > one;
+    grew_with_third += three > two;
+    set_ratio_sum += static_cast<double>(one) /
+                     static_cast<double>(std::max<std::size_t>(1, three));
+  }
+
+  analysis::TextTable table({"quantity", "value"});
+  table.AddRow({"sparse blocks (<=10 usable) reprobed", std::to_string(blocks)});
+  table.AddRow({"single-vantage set completeness (vs 3 vantages)",
+                analysis::Pct(set_ratio_sum / std::max<std::size_t>(1,
+                                                                    blocks))});
+  table.AddRow({"blocks gaining last hops from a 2nd vantage",
+                analysis::Pct(static_cast<double>(grew_with_second) /
+                              std::max<std::size_t>(1, blocks))});
+  table.AddRow({"blocks gaining more from a 3rd vantage",
+                analysis::Pct(static_cast<double>(grew_with_third) /
+                              std::max<std::size_t>(1, blocks))});
+  table.AddRow({"probe packets, 1 vantage", std::to_string(probes_1)});
+  table.AddRow({"probe packets, 3 vantages", std::to_string(probes_3)});
+  table.Print(std::cout);
+
+  std::cout << "\npaper's point: source-hashing balancers make extra "
+               "vantages informative, but the load multiplies with the "
+               "vantage count — which is why §6 infers the aggregation "
+               "from partial information with MCL instead\n";
+  return 0;
+}

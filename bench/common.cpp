@@ -1,0 +1,85 @@
+#include "common.h"
+
+#include <chrono>
+#include <thread>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace hobbit::bench {
+namespace {
+
+double ParseEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+
+std::uint64_t ParseEnvU64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  std::uint64_t parsed = std::strtoull(value, &end, 10);
+  return end != value ? parsed : fallback;
+}
+
+World BuildWorld() {
+  World world;
+  world.scale = WorldScale();
+  world.seed = WorldSeed();
+
+  auto t0 = std::chrono::steady_clock::now();
+  netsim::InternetConfig config;
+  config.seed = world.seed;
+  config.scale = world.scale;
+  world.internet = netsim::BuildInternet(config);
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.seed = world.seed;
+  pipeline_config.threads = static_cast<int>(
+      std::min(8u, std::max(1u, std::thread::hardware_concurrency())));
+  pipeline_config.calibration_blocks =
+      std::max(200, static_cast<int>(1200 * world.scale));
+  pipeline_config.samples_per_block = 64;
+  world.pipeline = core::RunPipeline(world.internet, pipeline_config);
+
+  world.homogeneous = world.pipeline.HomogeneousBlocks();
+  world.aggregates = cluster::AggregateIdentical(world.homogeneous);
+  world.mcl = cluster::RunMclAggregation(world.aggregates);
+  cluster::ValidateClusters(world.internet, world.pipeline.study_blocks,
+                            world.aggregates, world.mcl);
+  world.final_blocks =
+      cluster::MergeValidatedClusters(world.aggregates, world.mcl);
+
+  auto t1 = std::chrono::steady_clock::now();
+  std::cerr << "[world] scale=" << world.scale << " seed=" << world.seed
+            << " study_24s=" << world.pipeline.stats.study_24s
+            << " probes=" << world.pipeline.stats.probes_sent
+            << " built in "
+            << std::chrono::duration<double>(t1 - t0).count() << "s\n";
+  return world;
+}
+
+}  // namespace
+
+double WorldScale() { return ParseEnvDouble("HOBBIT_SCALE", 0.25); }
+
+std::uint64_t WorldSeed() { return ParseEnvU64("HOBBIT_SEED", 42); }
+
+const World& GetWorld() {
+  static World world = BuildWorld();
+  return world;
+}
+
+void PrintHeader(const std::string& experiment,
+                 const std::string& paper_reference) {
+  std::cout << "==================================================\n"
+            << experiment << "  (" << paper_reference << ")\n"
+            << "scale=" << WorldScale() << " seed=" << WorldSeed()
+            << "  -- compare shapes/ratios, not absolute counts\n"
+            << "==================================================\n";
+}
+
+}  // namespace hobbit::bench

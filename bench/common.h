@@ -1,0 +1,48 @@
+// common.h — shared state for the per-table/per-figure bench binaries.
+//
+// Every bench needs the same expensive artifacts: a generated Internet,
+// the full Hobbit pipeline run, and the aggregation stages.  `GetWorld()`
+// builds them once per process, at a scale controlled by the HOBBIT_SCALE
+// environment variable (default 0.25; 1.0 reproduces the full
+// paper-shaped census of ~85k /24s) and seed HOBBIT_SEED (default 42).
+//
+// Absolute counts scale with HOBBIT_SCALE; the ratios and shapes that the
+// paper reports are scale-free, which is what EXPERIMENTS.md compares.
+#pragma once
+
+#include <string>
+
+#include "cluster/aggregate.h"
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+
+namespace hobbit::bench {
+
+struct World {
+  netsim::Internet internet;
+  core::PipelineResult pipeline;
+  /// Homogeneous /24s (pointers into pipeline.results).
+  std::vector<const core::BlockResult*> homogeneous;
+  /// §5 exact aggregation.
+  std::vector<cluster::AggregateBlock> aggregates;
+  /// §6 MCL aggregation, validated by reprobing.
+  cluster::MclAggregationResult mcl;
+  /// Final block list after merging validated clusters.
+  std::vector<cluster::AggregateBlock> final_blocks;
+
+  double scale = 0.25;
+  std::uint64_t seed = 42;
+};
+
+/// Builds (once) and returns the shared world.
+const World& GetWorld();
+
+/// Scale/seed actually in use (parsed from the environment).
+double WorldScale();
+std::uint64_t WorldSeed();
+
+/// Prints the standard bench header (experiment id + scale note).
+void PrintHeader(const std::string& experiment,
+                 const std::string& paper_reference);
+
+}  // namespace hobbit::bench

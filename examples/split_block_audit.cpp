@@ -1,0 +1,92 @@
+// split_block_audit.cpp — auditing /24s that ISPs split into customer
+// sub-blocks (the paper's §4.2/Tables 2-4 workflow as a tool).
+//
+// Scenario: a measurement platform treats /24s as units and wants a list
+// of prefixes where that assumption is wrong.  The audit runs Hobbit,
+// keeps "different but hierarchical" /24s, applies the aligned-disjoint
+// criteria, reads the observed sub-block composition, and cross-checks
+// the registry's WHOIS assignments.
+//
+//   ./split_block_audit [scale] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/census.h"
+#include "analysis/report.h"
+#include "hobbit/hierarchy.h"
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+
+int main(int argc, char** argv) {
+  using namespace hobbit;
+
+  netsim::InternetConfig config;
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+  config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 19;
+  netsim::Internet internet = netsim::BuildInternet(config);
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.seed = config.seed;
+  pipeline_config.calibration_blocks = 400;
+  core::PipelineResult result = core::RunPipeline(internet, pipeline_config);
+
+  std::cout << "== audit: /24s that are NOT one unit ==\n";
+  analysis::TextTable table({"prefix", "sub-blocks (observed)",
+                             "WHOIS assignments", "owner"});
+  std::size_t hierarchical = 0, flagged = 0, whois_confirmed = 0;
+  for (std::size_t i = 0; i < result.results.size(); ++i) {
+    const core::BlockResult& r = result.results[i];
+    if (r.classification !=
+        core::Classification::kDifferentButHierarchical) {
+      continue;
+    }
+    ++hierarchical;
+    // Reprobe exhaustively before judging the composition.
+    core::BlockResult full = core::ReprobeBlock(
+        internet, result.study_blocks[i], config.seed + i);
+    auto groups = core::GroupByLastHop(full.observations);
+    if (!core::IsAlignedDisjoint(groups)) continue;
+    ++flagged;
+
+    std::string composition;
+    for (int length : core::SubBlockComposition(groups)) {
+      composition += "/" + std::to_string(length) + " ";
+    }
+    auto records = internet.registry.WhoisLookup(r.prefix);
+    if (records.size() >= 2) ++whois_confirmed;
+    auto as_index = internet.registry.AsOf(r.prefix.base());
+    if (flagged <= 12) {
+      table.AddRow({r.prefix.ToString(), composition,
+                    std::to_string(records.size()),
+                    as_index ? internet.registry.as_info(*as_index)
+                                   .organization
+                             : "?"});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nhierarchical /24s examined: " << hierarchical
+            << "\nflagged very-likely-heterogeneous: " << flagged
+            << "\nWHOIS shows multiple assignments: " << whois_confirmed
+            << "\n";
+
+  // False-positive control (the paper's <0.1% claim): how many flagged
+  // /24s are homogeneous in ground truth?
+  std::size_t false_flags = 0;
+  for (std::size_t i = 0; i < result.results.size(); ++i) {
+    const core::BlockResult& r = result.results[i];
+    if (r.classification !=
+        core::Classification::kDifferentButHierarchical) {
+      continue;
+    }
+    core::BlockResult full = core::ReprobeBlock(
+        internet, result.study_blocks[i], config.seed + i);
+    auto groups = core::GroupByLastHop(full.observations);
+    if (!core::IsAlignedDisjoint(groups)) continue;
+    const netsim::TruthRecord* truth = internet.TruthOf(r.prefix);
+    if (truth != nullptr && !truth->heterogeneous) ++false_flags;
+  }
+  std::cout << "flagged-but-actually-homogeneous: " << false_flags
+            << " (paper: <0.1% of homogeneous blocks meet the criteria)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// topology_discovery.cpp — using Hobbit blocks to plan an efficient
+// topology-discovery campaign (the paper's §7.1 application).
+//
+// Scenario: a mapping system (CAIDA-style) wants IP-level links.  The
+// naive plan probes k destinations per routed /24; the Hobbit plan first
+// aggregates /24s into homogeneous blocks and spreads the same probe
+// budget across blocks instead.  This program builds a world, measures
+// it, constructs both plans and reports the link coverage per budget.
+//
+//   ./topology_discovery [scale] [seed]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "analysis/report.h"
+#include "analysis/topo_discovery.h"
+#include "cluster/aggregate.h"
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+
+int main(int argc, char** argv) {
+  using namespace hobbit;
+
+  netsim::InternetConfig config;
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  netsim::Internet internet = netsim::BuildInternet(config);
+
+  std::cout << "== measuring " << internet.study_24s.size()
+            << " /24s with Hobbit ==\n";
+  core::PipelineConfig pipeline_config;
+  pipeline_config.seed = config.seed;
+  pipeline_config.calibration_blocks = 300;
+  core::PipelineResult result = core::RunPipeline(internet, pipeline_config);
+  auto homogeneous = result.HomogeneousBlocks();
+  auto aggregates = cluster::AggregateIdentical(homogeneous);
+  std::cout << homogeneous.size() << " homogeneous /24s -> "
+            << aggregates.size() << " blocks\n\n";
+
+  // Probe targets: every snapshot-active address of the homogeneous /24s.
+  std::vector<netsim::Ipv4Address> destinations;
+  std::map<netsim::Prefix, std::size_t> block_of_24;
+  for (std::size_t b = 0; b < aggregates.size(); ++b) {
+    for (const netsim::Prefix& p : aggregates[b].member_24s) {
+      block_of_24[p] = b;
+    }
+  }
+  for (const probing::ZmapBlock& snapshot : result.study_blocks) {
+    if (!block_of_24.count(snapshot.prefix)) continue;
+    for (std::uint8_t octet : snapshot.active_octets) {
+      destinations.push_back(
+          netsim::Ipv4Address(snapshot.prefix.base().value() | octet));
+    }
+  }
+
+  std::cout << "== collecting traceroute corpus (" << destinations.size()
+            << " destinations) ==\n";
+  analysis::TracerouteCorpus corpus =
+      analysis::CollectCorpus(*internet.simulator, destinations);
+  std::cout << corpus.total_links << " distinct router-router links\n\n";
+
+  // Build strata for both plans.
+  std::map<std::size_t, std::vector<std::uint32_t>> block_strata_map;
+  std::map<netsim::Prefix, std::vector<std::uint32_t>> slash24_strata_map;
+  for (std::uint32_t i = 0; i < corpus.entries.size(); ++i) {
+    netsim::Prefix p =
+        netsim::Prefix::Slash24Of(corpus.entries[i].destination);
+    slash24_strata_map[p].push_back(i);
+    block_strata_map[block_of_24[p]].push_back(i);
+  }
+  std::vector<std::vector<std::uint32_t>> block_strata, slash24_strata;
+  for (auto& [key, indices] : block_strata_map) {
+    block_strata.push_back(std::move(indices));
+  }
+  for (auto& [key, indices] : slash24_strata_map) {
+    slash24_strata.push_back(std::move(indices));
+  }
+
+  const std::size_t total_24s = slash24_strata.size();
+  auto hobbit_plan = analysis::DiscoverySeries(
+      corpus, block_strata, total_24s, netsim::Rng(config.seed + 1));
+  auto naive_plan = analysis::DiscoverySeries(
+      corpus, slash24_strata, total_24s, netsim::Rng(config.seed + 2));
+
+  auto budget_for = [](const std::vector<analysis::SeriesPoint>& series,
+                       double target) -> double {
+    for (const auto& point : series) {
+      if (point.link_ratio >= target) return point.avg_selected_per_24;
+    }
+    return -1.0;
+  };
+  analysis::TextTable table(
+      {"coverage target", "Hobbit plan (dest//24)", "naive plan (dest//24)",
+       "probe savings"});
+  for (double target : {0.5, 0.75, 0.9, 0.95, 0.99}) {
+    double hobbit_budget = budget_for(hobbit_plan, target);
+    double naive_budget = budget_for(naive_plan, target);
+    std::string savings = "-";
+    if (hobbit_budget > 0 && naive_budget > 0) {
+      savings = analysis::Pct(1.0 - hobbit_budget / naive_budget);
+    }
+    table.AddRow({analysis::Pct(target),
+                  hobbit_budget < 0 ? "-" : analysis::Fmt(hobbit_budget, 2),
+                  naive_budget < 0 ? "-" : analysis::Fmt(naive_budget, 2),
+                  savings});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe Hobbit plan reaches each coverage level with fewer "
+               "destinations per /24 — the §7.1 claim.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "analysis/adjacency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hobbit::analysis {
+
+std::vector<int> AdjacentLcpLengths(const cluster::AggregateBlock& block) {
+  std::vector<int> lengths;
+  const auto& members = block.member_24s;  // sorted by construction
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    lengths.push_back(
+        netsim::LongestCommonPrefixLength(members[i - 1], members[i]));
+  }
+  return lengths;
+}
+
+int EndToEndLcpLength(const cluster::AggregateBlock& block) {
+  if (block.member_24s.size() < 2) return 24;
+  return netsim::LongestCommonPrefixLength(block.member_24s.front(),
+                                           block.member_24s.back());
+}
+
+std::vector<double> AdjacencyPositions(const cluster::AggregateBlock& block) {
+  std::vector<double> xs;
+  xs.reserve(block.member_24s.size());
+  double x = 1.0;
+  xs.push_back(x);
+  for (std::size_t i = 1; i < block.member_24s.size(); ++i) {
+    int lcp = netsim::LongestCommonPrefixLength(block.member_24s[i - 1],
+                                                block.member_24s[i]);
+    x += 24 - lcp;
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+std::vector<ContiguousRun> ContiguousRuns(
+    const cluster::AggregateBlock& block) {
+  std::vector<ContiguousRun> runs;
+  const auto& members = block.member_24s;
+  std::size_t i = 0;
+  while (i < members.size()) {
+    std::size_t j = i + 1;
+    while (j < members.size() &&
+           members[j].base().value() ==
+               members[j - 1].base().value() + 256) {
+      ++j;
+    }
+    runs.push_back({members[i], j - i});
+    i = j;
+  }
+  return runs;
+}
+
+std::string RenderAdjacencyStrip(const cluster::AggregateBlock& block,
+                                 std::size_t width) {
+  std::vector<ContiguousRun> runs = ContiguousRuns(block);
+  if (runs.empty()) return {};
+  std::string strip;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (r > 0) {
+      // Gap, log-compressed: one dot per factor of ~16 in /24 distance.
+      std::uint32_t gap =
+          (runs[r].first.base().value() -
+           (runs[r - 1].first.base().value() +
+            static_cast<std::uint32_t>(runs[r - 1].count) * 256)) /
+          256;
+      int dots = 1 + static_cast<int>(std::log2(static_cast<double>(gap) + 1) / 4);
+      strip.append(static_cast<std::size_t>(dots), '.');
+    }
+    // One '#' per ~(total/width) member /24s, at least one.
+    double scale = std::max(
+        1.0, static_cast<double>(block.member_24s.size()) /
+                 static_cast<double>(width));
+    auto cells = static_cast<std::size_t>(
+        std::max(1.0, std::round(static_cast<double>(runs[r].count) / scale)));
+    strip.append(cells, '#');
+  }
+  return strip;
+}
+
+}  // namespace hobbit::analysis

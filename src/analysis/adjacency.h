@@ -1,0 +1,45 @@
+// adjacency.h — numerical adjacency of the /24s inside aggregated blocks
+// (paper §5.3, Figures 7 and 8).
+//
+// Blocks that are topologically one place need not be numerically one
+// range: the paper finds most large blocks are several contiguous runs
+// separated in address space.  Adjacency is measured by the longest common
+// prefix (LCP) length between /24 identifiers — 23 means consecutive
+// twins, 0 means opposite halves of the address space.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/aggregate.h"
+#include "netsim/ipv4.h"
+
+namespace hobbit::analysis {
+
+/// LCP lengths between numerically neighbouring /24s of one block
+/// (Fig 7a's population, per block).  Empty for single-member blocks.
+std::vector<int> AdjacentLcpLengths(const cluster::AggregateBlock& block);
+
+/// LCP length between the smallest and the largest /24 (Fig 7b).
+int EndToEndLcpLength(const cluster::AggregateBlock& block);
+
+/// Figure 8's drawing positions: x_1 = 1 and
+/// x_i = x_{i-1} + (24 - LCP(p_{i-1}, p_i)); large gaps mean low
+/// adjacency.
+std::vector<double> AdjacencyPositions(const cluster::AggregateBlock& block);
+
+/// Contiguous runs of consecutive /24s within the block, as
+/// (first /24, count) — the "segments" visible in Figure 8.
+struct ContiguousRun {
+  netsim::Prefix first;
+  std::size_t count;
+};
+std::vector<ContiguousRun> ContiguousRuns(const cluster::AggregateBlock& block);
+
+/// ASCII rendition of Figure 8 for one block: a line of cells where '#'
+/// marks member /24s and '.' compresses gaps (log-scaled).
+std::string RenderAdjacencyStrip(const cluster::AggregateBlock& block,
+                                 std::size_t width = 72);
+
+}  // namespace hobbit::analysis

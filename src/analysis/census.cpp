@@ -1,0 +1,56 @@
+#include "analysis/census.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hobbit::analysis {
+
+std::vector<AsCountRow> CountByAs(const netsim::Registry& registry,
+                                  std::span<const netsim::Prefix> prefixes) {
+  std::map<std::uint32_t, std::size_t> counts;
+  for (const netsim::Prefix& prefix : prefixes) {
+    auto as_index = registry.AsOf(prefix.base());
+    if (as_index) ++counts[*as_index];
+  }
+  std::vector<AsCountRow> rows;
+  rows.reserve(counts.size());
+  for (const auto& [as_index, count] : counts) {
+    rows.push_back({registry.as_info(as_index), count});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const AsCountRow& a, const AsCountRow& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.info.asn < b.info.asn;
+            });
+  return rows;
+}
+
+const netsim::AsInfo* AsOfBlock(const netsim::Registry& registry,
+                                const cluster::AggregateBlock& block) {
+  if (block.member_24s.empty()) return nullptr;
+  auto as_index = registry.AsOf(block.member_24s.front().base());
+  if (!as_index) return nullptr;
+  return &registry.as_info(*as_index);
+}
+
+netsim::SubnetKind DominantKind(const netsim::Internet& internet,
+                                const cluster::AggregateBlock& block) {
+  std::map<netsim::SubnetKind, std::size_t> counts;
+  for (const netsim::Prefix& slash24 : block.member_24s) {
+    netsim::SubnetId id = internet.topology.FindSubnet(slash24.base());
+    if (id != netsim::kNoSubnet) {
+      ++counts[internet.topology.subnet(id).kind];
+    }
+  }
+  netsim::SubnetKind best = netsim::SubnetKind::kResidential;
+  std::size_t best_count = 0;
+  for (const auto& [kind, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best = kind;
+    }
+  }
+  return best;
+}
+
+}  // namespace hobbit::analysis

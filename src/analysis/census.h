@@ -1,0 +1,37 @@
+// census.h — joining measurement results against the address registry,
+// as the paper does with Maxmind/WHOIS for Tables 3, 4 and 5.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/aggregate.h"
+#include "netsim/internet.h"
+#include "netsim/ipv4.h"
+#include "netsim/registry.h"
+
+namespace hobbit::analysis {
+
+/// One row of a per-AS ranking.
+struct AsCountRow {
+  netsim::AsInfo info;
+  std::size_t count = 0;
+};
+
+/// Groups /24s by owning AS and returns rows sorted by descending count
+/// (Table 3's layout).  Prefixes without a registry entry are skipped.
+std::vector<AsCountRow> CountByAs(const netsim::Registry& registry,
+                                  std::span<const netsim::Prefix> prefixes);
+
+/// The AS owning an aggregate block, resolved via its first member
+/// (Table 5's join; blocks never span ASes in practice).
+const netsim::AsInfo* AsOfBlock(const netsim::Registry& registry,
+                                const cluster::AggregateBlock& block);
+
+/// Dominant subnet kind of a block (for the cellular/datacenter
+/// discussion of §5.2): the kind of the majority of member /24s.
+netsim::SubnetKind DominantKind(const netsim::Internet& internet,
+                                const cluster::AggregateBlock& block);
+
+}  // namespace hobbit::analysis

@@ -1,0 +1,85 @@
+#include "analysis/edns.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hobbit::analysis {
+
+std::vector<FrontEnd> PlaceFrontEnds(int count, netsim::Rng rng) {
+  std::vector<FrontEnd> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back({rng.NextUnit(), rng.NextUnit()});
+  }
+  return out;
+}
+
+double LatencyToFrontEnd(const netsim::Subnet& subnet,
+                         const FrontEnd& front_end) {
+  const double dx = subnet.geo_x - front_end.x;
+  const double dy = subnet.geo_y - front_end.y;
+  // Access component + wide-area propagation: the unit square spans
+  // ~120 ms corner to corner.
+  return 0.25 * subnet.base_rtt_ms + 85.0 * std::sqrt(dx * dx + dy * dy);
+}
+
+namespace {
+
+/// Index of the lowest-latency front-end for a subnet.
+std::size_t BestFrontEnd(const netsim::Subnet& subnet,
+                         std::span<const FrontEnd> front_ends) {
+  std::size_t best = 0;
+  double best_latency = LatencyToFrontEnd(subnet, front_ends[0]);
+  for (std::size_t f = 1; f < front_ends.size(); ++f) {
+    double latency = LatencyToFrontEnd(subnet, front_ends[f]);
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = f;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MappingOutcome EvaluateMapping(
+    const netsim::Internet& internet,
+    std::span<const std::vector<netsim::Ipv4Address>> strata,
+    std::span<const FrontEnd> front_ends, netsim::Rng rng) {
+  MappingOutcome outcome;
+  if (front_ends.empty()) return outcome;
+  std::vector<double> penalties;
+  for (const auto& clients : strata) {
+    if (clients.empty()) continue;
+    // The CDN measured one representative of the unit.
+    netsim::Ipv4Address representative =
+        clients[rng.NextBelow(clients.size())];
+    netsim::SubnetId rep_subnet =
+        internet.topology.FindSubnet(representative);
+    if (rep_subnet == netsim::kNoSubnet) continue;
+    std::size_t assigned =
+        BestFrontEnd(internet.topology.subnet(rep_subnet), front_ends);
+    for (netsim::Ipv4Address client : clients) {
+      netsim::SubnetId subnet_id = internet.topology.FindSubnet(client);
+      if (subnet_id == netsim::kNoSubnet) continue;
+      const netsim::Subnet& subnet = internet.topology.subnet(subnet_id);
+      std::size_t best = BestFrontEnd(subnet, front_ends);
+      double penalty = LatencyToFrontEnd(subnet, front_ends[assigned]) -
+                       LatencyToFrontEnd(subnet, front_ends[best]);
+      penalties.push_back(penalty);
+      outcome.misdirected_share += best != assigned ? 1.0 : 0.0;
+    }
+  }
+  if (penalties.empty()) return outcome;
+  outcome.clients = penalties.size();
+  double sum = 0.0;
+  for (double p : penalties) sum += p;
+  outcome.mean_penalty_ms = sum / static_cast<double>(penalties.size());
+  std::sort(penalties.begin(), penalties.end());
+  outcome.p95_penalty_ms =
+      penalties[static_cast<std::size_t>(0.95 * (penalties.size() - 1))];
+  outcome.misdirected_share /= static_cast<double>(penalties.size());
+  return outcome;
+}
+
+}  // namespace hobbit::analysis

@@ -1,0 +1,55 @@
+// edns.h — the EDNS-client-subnet experiment (paper §1 motivation).
+//
+// The EDNS-Client-Subnet extension truncates the client's address to 24
+// bits before it reaches an authoritative CDN resolver, which then maps
+// the whole /24 to the front-end server best for a measured
+// representative.  "The EDNS-Client-Subnet extension may also fail to
+// find the single best server for addresses within a /24 block if some
+// addresses are distant from each other" — i.e. if the /24 is secretly
+// split across locations.  This module evaluates the latency penalty of
+// mapping at a given aggregation granularity against the per-address
+// optimum, over the simulator's ground-truth geography.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netsim/internet.h"
+#include "netsim/ipv4.h"
+#include "netsim/rng.h"
+
+namespace hobbit::analysis {
+
+/// A CDN front-end location in the abstract unit square.
+struct FrontEnd {
+  double x = 0.5;
+  double y = 0.5;
+};
+
+/// Uniformly random front-end placement.
+std::vector<FrontEnd> PlaceFrontEnds(int count, netsim::Rng rng);
+
+/// Client-to-front-end latency: the subnet's access latency plus a
+/// distance-proportional wide-area component.
+double LatencyToFrontEnd(const netsim::Subnet& subnet,
+                         const FrontEnd& front_end);
+
+/// Outcome of mapping each stratum of clients to the front-end that is
+/// best for one randomly chosen representative.
+struct MappingOutcome {
+  double mean_penalty_ms = 0.0;  ///< vs the per-client optimum
+  double p95_penalty_ms = 0.0;
+  double misdirected_share = 0.0;  ///< clients not given their true best
+  std::size_t clients = 0;
+};
+
+/// Evaluates one granularity.  `strata` lists client addresses per
+/// mapping unit; every client of a unit is directed to the front-end
+/// optimal for the unit's representative.
+MappingOutcome EvaluateMapping(
+    const netsim::Internet& internet,
+    std::span<const std::vector<netsim::Ipv4Address>> strata,
+    std::span<const FrontEnd> front_ends, netsim::Rng rng);
+
+}  // namespace hobbit::analysis

@@ -1,0 +1,91 @@
+// evaluation.h — scoring Hobbit against ground truth.
+//
+// The paper can only bound its error statistically (the 95 % stopping
+// rule, the <0.1 % false-positive check of §4.2).  The simulator knows
+// the route entries, so this module computes what the authors could not:
+// the full confusion matrix of the homogeneity verdict, the precision of
+// the aligned-disjoint heterogeneity flag, and the purity/completeness of
+// the final aggregated blocks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "cluster/aggregate.h"
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+
+namespace hobbit::analysis {
+
+/// Confusion matrix of the per-/24 homogeneity verdict, over analyzable
+/// blocks only.
+struct VerdictEvaluation {
+  std::uint64_t true_homogeneous = 0;    ///< said homog, truth homog
+  std::uint64_t false_homogeneous = 0;   ///< said homog, truth split
+  std::uint64_t true_heterogeneous = 0;  ///< said hier, truth split
+  std::uint64_t false_heterogeneous = 0; ///< said hier, truth homog
+  std::uint64_t not_analyzable = 0;
+
+  double HomogeneousPrecision() const {
+    auto d = true_homogeneous + false_homogeneous;
+    return d == 0 ? 0.0 : static_cast<double>(true_homogeneous) / d;
+  }
+  double HomogeneousRecall() const {
+    auto d = true_homogeneous + false_heterogeneous;
+    return d == 0 ? 0.0 : static_cast<double>(true_homogeneous) / d;
+  }
+  double HeterogeneousPrecision() const {
+    auto d = true_heterogeneous + false_heterogeneous;
+    return d == 0 ? 0.0 : static_cast<double>(true_heterogeneous) / d;
+  }
+  double HeterogeneousRecall() const {
+    auto d = true_heterogeneous + false_homogeneous;
+    return d == 0 ? 0.0 : static_cast<double>(true_heterogeneous) / d;
+  }
+  double Accuracy() const {
+    auto correct = true_homogeneous + true_heterogeneous;
+    auto total = correct + false_homogeneous + false_heterogeneous;
+    return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+  }
+};
+
+/// Scores every analyzable verdict of a pipeline run.
+VerdictEvaluation EvaluateVerdicts(const netsim::Internet& internet,
+                                   const core::PipelineResult& result);
+
+/// Precision of the §4.2 aligned-disjoint flag: of the /24s it marks
+/// "very likely heterogeneous", how many truly are (the paper claims the
+/// criteria's false-positive rate on homogeneous blocks is < 0.1 %).
+struct FlagEvaluation {
+  std::uint64_t flagged = 0;
+  std::uint64_t flagged_truly_heterogeneous = 0;
+
+  double Precision() const {
+    return flagged == 0
+               ? 0.0
+               : static_cast<double>(flagged_truly_heterogeneous) / flagged;
+  }
+};
+FlagEvaluation EvaluateAlignedDisjointFlag(
+    const netsim::Internet& internet, const core::PipelineResult& result);
+
+/// Purity/completeness of an aggregation: a block is *pure* when all its
+/// member /24s share one ground-truth gateway set; completeness is the
+/// average (over ground-truth blocks with >= 2 measured members) of the
+/// largest fraction kept together.
+struct AggregationEvaluation {
+  std::uint64_t blocks = 0;
+  std::uint64_t pure_blocks = 0;
+  double mean_completeness = 0.0;
+
+  double Purity() const {
+    return blocks == 0 ? 0.0
+                       : static_cast<double>(pure_blocks) / blocks;
+  }
+};
+AggregationEvaluation EvaluateAggregation(
+    const netsim::Internet& internet,
+    std::span<const cluster::AggregateBlock> blocks);
+
+}  // namespace hobbit::analysis

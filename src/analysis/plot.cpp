@@ -1,0 +1,167 @@
+#include "analysis/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/stats.h"
+
+namespace hobbit::analysis {
+namespace {
+
+struct Range {
+  double lo = 0.0, hi = 1.0;
+
+  int ToCell(double v, int cells) const {
+    if (hi <= lo) return 0;
+    double t = (v - lo) / (hi - lo);
+    int cell = static_cast<int>(std::floor(t * cells));
+    return std::clamp(cell, 0, cells - 1);
+  }
+};
+
+std::string FormatTick(double v) {
+  std::ostringstream os;
+  if (std::abs(v) >= 1000) {
+    os << std::fixed << std::setprecision(0) << v;
+  } else {
+    os << std::fixed << std::setprecision(2) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void RenderPlot(std::ostream& os, const std::vector<PlotSeries>& series,
+                const PlotOptions& options) {
+  const int width = std::max(8, options.width);
+  const int height = std::max(4, options.height);
+
+  // Fit axes.
+  Range x{options.x_min, options.x_max};
+  Range y{options.y_min, options.y_max};
+  bool auto_x = options.x_min == PlotOptions::kAuto ||
+                options.x_max == PlotOptions::kAuto;
+  bool auto_y = options.y_min == PlotOptions::kAuto ||
+                options.y_max == PlotOptions::kAuto;
+  if (auto_x || auto_y) {
+    double x_lo = 1e300, x_hi = -1e300, y_lo = 1e300, y_hi = -1e300;
+    for (const PlotSeries& s : series) {
+      for (auto [px, py] : s.points) {
+        x_lo = std::min(x_lo, px);
+        x_hi = std::max(x_hi, px);
+        y_lo = std::min(y_lo, py);
+        y_hi = std::max(y_hi, py);
+      }
+    }
+    if (x_lo > x_hi) {
+      x_lo = 0;
+      x_hi = 1;
+    }
+    if (y_lo > y_hi) {
+      y_lo = 0;
+      y_hi = 1;
+    }
+    if (auto_x) x = {x_lo, x_hi == x_lo ? x_lo + 1 : x_hi};
+    if (auto_y) y = {y_lo, y_hi == y_lo ? y_lo + 1 : y_hi};
+  }
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  for (const PlotSeries& s : series) {
+    // Draw with linear interpolation between consecutive points so sparse
+    // series still read as curves.
+    for (std::size_t i = 0; i < s.points.size(); ++i) {
+      auto [px, py] = s.points[i];
+      int col = x.ToCell(px, width);
+      int row = height - 1 - y.ToCell(py, height);
+      canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.glyph;
+      if (i + 1 < s.points.size()) {
+        auto [nx, ny] = s.points[i + 1];
+        int col2 = x.ToCell(nx, width);
+        int steps = std::abs(col2 - col);
+        for (int step = 1; step < steps; ++step) {
+          double t = static_cast<double>(step) / steps;
+          double iy = py + t * (ny - py);
+          int c = col + (col2 > col ? step : -step);
+          int r = height - 1 - y.ToCell(iy, height);
+          char& cell = canvas[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(c)];
+          if (cell == ' ') cell = s.glyph;
+        }
+      }
+    }
+  }
+
+  // Borders + y ticks.
+  const std::string top_tick = FormatTick(y.hi);
+  const std::string bottom_tick = FormatTick(y.lo);
+  const std::size_t margin =
+      std::max(top_tick.size(), bottom_tick.size()) + 1;
+  for (int row = 0; row < height; ++row) {
+    std::string tick;
+    if (row == 0) tick = top_tick;
+    if (row == height - 1) tick = bottom_tick;
+    os << std::setw(static_cast<int>(margin)) << tick << " |"
+       << canvas[static_cast<std::size_t>(row)] << "|\n";
+  }
+  os << std::string(margin + 1, ' ') << '+'
+     << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  const std::string x_lo_tick = FormatTick(x.lo);
+  const std::string x_hi_tick = FormatTick(x.hi);
+  os << std::string(margin + 2, ' ') << x_lo_tick
+     << std::string(std::max<std::size_t>(
+                        1, static_cast<std::size_t>(width) -
+                               x_lo_tick.size() - x_hi_tick.size()),
+                    ' ')
+     << x_hi_tick;
+  if (!options.x_label.empty()) os << "   " << options.x_label;
+  os << "\n";
+  for (const PlotSeries& s : series) {
+    os << std::string(margin + 2, ' ') << s.glyph << " = " << s.label
+       << "\n";
+  }
+  if (!options.y_label.empty()) {
+    os << std::string(margin + 2, ' ') << "y: " << options.y_label << "\n";
+  }
+}
+
+void RenderCdfPlot(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::vector<double>>>& samples,
+    const PlotOptions& options) {
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+  std::vector<PlotSeries> series;
+  double x_lo = 1e300, x_hi = -1e300;
+  for (const auto& [label, values] : samples) {
+    Ecdf ecdf(values);
+    if (ecdf.empty()) continue;
+    x_lo = std::min(x_lo, ecdf.Min());
+    x_hi = std::max(x_hi, ecdf.Max());
+  }
+  if (x_lo > x_hi) return;
+  PlotOptions opts = options;
+  if (opts.y_min == PlotOptions::kAuto) opts.y_min = 0.0;
+  if (opts.y_max == PlotOptions::kAuto) opts.y_max = 1.0;
+  if (opts.y_label.empty()) opts.y_label = "CDF";
+  std::size_t index = 0;
+  for (const auto& [label, values] : samples) {
+    Ecdf ecdf(values);
+    if (ecdf.empty()) continue;
+    PlotSeries s;
+    s.label = label;
+    s.glyph = kGlyphs[index++ % sizeof(kGlyphs)];
+    const int kPoints = 96;
+    for (int i = 0; i <= kPoints; ++i) {
+      double xv = x_lo + (x_hi - x_lo) * i / kPoints;
+      s.points.emplace_back(xv, ecdf.At(xv));
+    }
+    series.push_back(std::move(s));
+  }
+  RenderPlot(os, series, opts);
+}
+
+}  // namespace hobbit::analysis

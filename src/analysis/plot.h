@@ -1,0 +1,42 @@
+// plot.h — terminal plots for the figure benches.
+//
+// Each bench regenerates a *figure*; a row of numbers hides the shape the
+// paper drew.  This renderer draws simple ASCII charts: multiple series
+// over a shared x axis, each series its own glyph, with axis labels.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hobbit::analysis {
+
+/// One polyline: (x, y) points, drawn with `glyph`.
+struct PlotSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+struct PlotOptions {
+  int width = 64;   ///< interior columns
+  int height = 16;  ///< interior rows
+  std::string x_label;
+  std::string y_label;
+  /// Fixed axis ranges; NaN means auto-fit to the data.
+  double x_min = kAuto, x_max = kAuto;
+  double y_min = kAuto, y_max = kAuto;
+  static constexpr double kAuto = -1e300;
+};
+
+/// Renders the series into `os` (bordered canvas + legend).
+void RenderPlot(std::ostream& os, const std::vector<PlotSeries>& series,
+                const PlotOptions& options = {});
+
+/// Convenience: renders ECDF curves of several labelled samples.
+void RenderCdfPlot(std::ostream& os,
+                   const std::vector<std::pair<std::string,
+                                               std::vector<double>>>& samples,
+                   const PlotOptions& options = {});
+
+}  // namespace hobbit::analysis

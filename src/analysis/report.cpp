@@ -1,0 +1,87 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hobbit::analysis {
+
+std::string Fmt(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string Pct(double ratio) { return Fmt(ratio * 100.0, 1) + "%"; }
+
+void PrintCdfSummary(std::ostream& os, const std::string& label,
+                     const Ecdf& ecdf) {
+  os << label << ": n=" << ecdf.size();
+  if (!ecdf.empty()) {
+    os << " min=" << Fmt(ecdf.Min()) << " p10=" << Fmt(ecdf.Quantile(0.1))
+       << " p25=" << Fmt(ecdf.Quantile(0.25))
+       << " p50=" << Fmt(ecdf.Quantile(0.5))
+       << " p75=" << Fmt(ecdf.Quantile(0.75))
+       << " p90=" << Fmt(ecdf.Quantile(0.9)) << " max=" << Fmt(ecdf.Max())
+       << " mean=" << Fmt(ecdf.Mean());
+  }
+  os << "\n";
+}
+
+void PrintCdfSeries(std::ostream& os, const std::string& label,
+                    const Ecdf& ecdf, std::span<const double> xs) {
+  os << label << ":";
+  for (double x : xs) {
+    os << "  " << Fmt(x) << "->" << Fmt(ecdf.At(x));
+  }
+  os << "\n";
+}
+
+void PrintLog2Histogram(std::ostream& os, const std::string& label,
+                        const Log2Histogram& histogram) {
+  os << label << "\n";
+  std::uint64_t peak = 1;
+  for (std::uint64_t count : histogram.counts) {
+    peak = std::max(peak, count);
+  }
+  for (std::size_t k = 0; k < histogram.counts.size(); ++k) {
+    const auto bar = static_cast<std::size_t>(
+        histogram.counts[k] * 48 / peak);
+    os << "  [2^" << std::setw(2) << k << ", 2^" << std::setw(2) << k + 1
+       << "): " << std::setw(8) << histogram.counts[k] << "  "
+       << std::string(bar, '#') << "\n";
+  }
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << rows_[r][c];
+    }
+    os << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t w : widths) total += w + 2;
+      os << std::string(total, '-') << "\n";
+    }
+  }
+}
+
+}  // namespace hobbit::analysis

@@ -1,0 +1,47 @@
+// report.h — plain-text renderers for the paper's tables and figures.
+//
+// Every bench binary prints its table/figure through these helpers so the
+// output is uniform and diffable: fixed-width tables, CDFs sampled at
+// fixed probe points, and log2 histograms.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace hobbit::analysis {
+
+/// Prints "name: p10=.. p25=.. p50=.. p75=.. p90=.. mean=.." style rows.
+void PrintCdfSummary(std::ostream& os, const std::string& label,
+                     const Ecdf& ecdf);
+
+/// Prints an ECDF as "x cdf" pairs at the given x probe points.
+void PrintCdfSeries(std::ostream& os, const std::string& label,
+                    const Ecdf& ecdf, std::span<const double> xs);
+
+/// Prints a Log2Histogram as "[2^k, 2^k+1): count" lines.
+void PrintLog2Histogram(std::ostream& os, const std::string& label,
+                        const Log2Histogram& histogram);
+
+/// Simple fixed-width table printer: first call with the header, then with
+/// rows; column widths derive from the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string Fmt(double value, int digits = 2);
+
+/// Formats a ratio as a percentage with one decimal ("34.2%").
+std::string Pct(double ratio);
+
+}  // namespace hobbit::analysis

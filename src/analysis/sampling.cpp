@@ -1,0 +1,59 @@
+#include "analysis/sampling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hobbit::analysis {
+
+double MeanDistinctPatternsStratified(
+    std::span<const std::uint32_t> pattern_ids,
+    std::span<const std::vector<std::uint32_t>> strata, int repetitions,
+    netsim::Rng rng) {
+  if (repetitions <= 0) return 0.0;
+  double total = 0.0;
+  std::unordered_set<std::uint32_t> seen;
+  for (int r = 0; r < repetitions; ++r) {
+    seen.clear();
+    for (const auto& stratum : strata) {
+      if (stratum.empty()) continue;
+      std::uint32_t pick = stratum[rng.NextBelow(stratum.size())];
+      seen.insert(pattern_ids[pick]);
+    }
+    total += static_cast<double>(seen.size());
+  }
+  return total / repetitions;
+}
+
+double MeanDistinctPatternsRandom(
+    std::span<const std::uint32_t> pattern_ids, std::size_t sample_size,
+    int repetitions, netsim::Rng rng) {
+  if (repetitions <= 0 || pattern_ids.empty()) return 0.0;
+  sample_size = std::min(sample_size, pattern_ids.size());
+  std::vector<std::uint32_t> indices(pattern_ids.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<std::uint32_t>(i);
+  }
+  double total = 0.0;
+  std::unordered_set<std::uint32_t> seen;
+  for (int r = 0; r < repetitions; ++r) {
+    seen.clear();
+    // Partial Fisher-Yates: the first `sample_size` entries become the
+    // sample (without replacement).
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      std::size_t j = i + rng.NextBelow(indices.size() - i);
+      std::swap(indices[i], indices[j]);
+      seen.insert(pattern_ids[indices[i]]);
+    }
+    total += static_cast<double>(seen.size());
+  }
+  return total / repetitions;
+}
+
+std::size_t TotalDistinctPatterns(
+    std::span<const std::uint32_t> pattern_ids) {
+  std::unordered_set<std::uint32_t> seen(pattern_ids.begin(),
+                                         pattern_ids.end());
+  return seen.size();
+}
+
+}  // namespace hobbit::analysis

@@ -1,0 +1,36 @@
+// sampling.h — stratified vs simple random sampling (paper §7.3, Fig 12).
+//
+// A sample is "more representative" when it hits more distinct host
+// types; host types are proxied by reverse-DNS naming patterns (Time
+// Warner Cable publishes its schemes).  Stratified sampling draws one
+// element per Hobbit block; simple random sampling draws uniformly, at
+// 1×/2×/4× the stratified sample size.  The experiment is generic over
+// "population elements with a pattern id" and "strata as index lists" so
+// tests can drive it synthetically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netsim/rng.h"
+
+namespace hobbit::analysis {
+
+/// Mean (over `repetitions`) number of distinct pattern ids in a sample
+/// drawn with one uniformly random element per stratum.
+double MeanDistinctPatternsStratified(
+    std::span<const std::uint32_t> pattern_ids,
+    std::span<const std::vector<std::uint32_t>> strata, int repetitions,
+    netsim::Rng rng);
+
+/// Mean number of distinct pattern ids in a uniform random sample of
+/// `sample_size` elements (without replacement).
+double MeanDistinctPatternsRandom(
+    std::span<const std::uint32_t> pattern_ids, std::size_t sample_size,
+    int repetitions, netsim::Rng rng);
+
+/// Number of distinct pattern ids in the whole population.
+std::size_t TotalDistinctPatterns(std::span<const std::uint32_t> pattern_ids);
+
+}  // namespace hobbit::analysis

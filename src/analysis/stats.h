@@ -1,0 +1,90 @@
+// stats.h — small statistics toolkit used across the experiments: ECDFs
+// (most of the paper's figures are CDFs), log2 histograms (Figs 5 and 10),
+// and the sample-size arithmetic behind the paper's 16,588-sample
+// criterion.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hobbit::analysis {
+
+/// Empirical CDF over doubles.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> values) : values_(std::move(values)) {
+    std::sort(values_.begin(), values_.end());
+  }
+
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+
+  /// Fraction of samples <= x.
+  double At(double x) const {
+    if (values_.empty()) return 0.0;
+    auto pos = std::upper_bound(values_.begin(), values_.end(), x);
+    return static_cast<double>(pos - values_.begin()) / values_.size();
+  }
+
+  /// q-quantile (0 <= q <= 1), nearest-rank.
+  double Quantile(double q) const {
+    if (values_.empty()) return 0.0;
+    double rank = q * static_cast<double>(values_.size() - 1);
+    auto idx = static_cast<std::size_t>(rank);
+    return values_[std::min(idx, values_.size() - 1)];
+  }
+
+  double Min() const { return values_.empty() ? 0.0 : values_.front(); }
+  double Max() const { return values_.empty() ? 0.0 : values_.back(); }
+
+  double Mean() const {
+    if (values_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Histogram over power-of-two buckets [2^k, 2^(k+1)), as Figures 5 and 10
+/// draw cluster sizes.
+struct Log2Histogram {
+  /// counts[k] covers sizes in [2^k, 2^(k+1)).
+  std::vector<std::uint64_t> counts;
+
+  static Log2Histogram Of(std::span<const std::size_t> sizes) {
+    Log2Histogram h;
+    for (std::size_t s : sizes) {
+      if (s == 0) continue;
+      int bucket = 0;
+      for (std::size_t v = s; v > 1; v >>= 1) ++bucket;
+      if (static_cast<std::size_t>(bucket) >= h.counts.size()) {
+        h.counts.resize(static_cast<std::size_t>(bucket) + 1, 0);
+      }
+      ++h.counts[static_cast<std::size_t>(bucket)];
+    }
+    return h;
+  }
+};
+
+/// Cochran sample-size formula the paper cites for its 16,588 samples per
+/// confidence cell: n = z^2 p (1-p) / e^2.
+inline int RequiredSampleSize(double confidence_z, double margin,
+                              double proportion = 0.5) {
+  return static_cast<int>(std::ceil(confidence_z * confidence_z *
+                                    proportion * (1.0 - proportion) /
+                                    (margin * margin)));
+}
+
+/// z for the 99 % two-sided level (the paper's choice).
+inline constexpr double kZ99 = 2.5758293035489004;
+
+}  // namespace hobbit::analysis

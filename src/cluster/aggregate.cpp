@@ -1,0 +1,274 @@
+#include "cluster/aggregate.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "cluster/components.h"
+#include "netsim/rng.h"
+
+namespace hobbit::cluster {
+namespace {
+
+double Similarity(const std::vector<netsim::Ipv4Address>& a,
+                  const std::vector<netsim::Ipv4Address>& b) {
+  // Both sorted; intersection by merge.
+  std::size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  const std::size_t denom = std::max(a.size(), b.size());
+  return denom == 0 ? 0.0 : static_cast<double>(common) / denom;
+}
+
+}  // namespace
+
+std::vector<AggregateBlock> AggregateIdentical(
+    std::span<const core::BlockResult* const> homogeneous_blocks) {
+  // Key aggregates by their exact last-hop set.
+  std::map<std::vector<netsim::Ipv4Address>, std::vector<netsim::Prefix>>
+      groups;
+  for (const core::BlockResult* block : homogeneous_blocks) {
+    if (block->last_hop_set.empty()) continue;
+    groups[block->last_hop_set].push_back(block->prefix);
+  }
+  std::vector<AggregateBlock> aggregates;
+  aggregates.reserve(groups.size());
+  for (auto& [set, members] : groups) {
+    AggregateBlock aggregate;
+    aggregate.last_hops = set;
+    std::sort(members.begin(), members.end());
+    aggregate.member_24s = std::move(members);
+    aggregates.push_back(std::move(aggregate));
+  }
+  std::sort(aggregates.begin(), aggregates.end(),
+            [](const AggregateBlock& a, const AggregateBlock& b) {
+              if (a.member_24s.size() != b.member_24s.size()) {
+                return a.member_24s.size() > b.member_24s.size();
+              }
+              return a.member_24s.front() < b.member_24s.front();
+            });
+  return aggregates;
+}
+
+Graph BuildSimilarityGraph(std::span<const AggregateBlock> aggregates) {
+  Graph graph;
+  graph.vertex_count = static_cast<std::uint32_t>(aggregates.size());
+  // Inverted index: last-hop interface -> aggregates containing it.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_router;
+  for (std::uint32_t v = 0; v < aggregates.size(); ++v) {
+    for (netsim::Ipv4Address router : aggregates[v].last_hops) {
+      by_router[router.value()].push_back(v);
+    }
+  }
+  // Candidate pairs share at least one router; dedupe via a set of packed
+  // pairs.
+  std::unordered_map<std::uint64_t, bool> seen;
+  for (const auto& [router, vertices] : by_router) {
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+        std::uint32_t a = vertices[i];
+        std::uint32_t b = vertices[j];
+        if (a > b) std::swap(a, b);
+        std::uint64_t key = (std::uint64_t{a} << 32) | b;
+        if (!seen.emplace(key, true).second) continue;
+        double w = Similarity(aggregates[a].last_hops,
+                              aggregates[b].last_hops);
+        if (w > 0.0) graph.edges.push_back({a, b, w});
+      }
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+/// Pair-weighted similarity distribution test (§6.6 rule).
+bool ClusterMatchesRule(std::span<const AggregateBlock> aggregates,
+                        const std::vector<std::uint32_t>& members,
+                        const RuleParams& rule) {
+  // Count /24-level pairs at-or-above the similarity bar.  Pairs inside
+  // one aggregate have similarity 1 by construction.  A single aggregate
+  // pair overlapping below the floor disqualifies the whole cluster.
+  long double high = 0, total = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const auto ni = static_cast<long double>(
+        aggregates[members[i]].member_24s.size());
+    high += ni * (ni - 1) / 2;
+    total += ni * (ni - 1) / 2;
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      const auto nj = static_cast<long double>(
+          aggregates[members[j]].member_24s.size());
+      double s = Similarity(aggregates[members[i]].last_hops,
+                            aggregates[members[j]].last_hops);
+      if (s < rule.min_pair_similarity) return false;
+      total += ni * nj;
+      if (s >= rule.high_similarity) high += ni * nj;
+    }
+  }
+  if (total <= 0) return false;
+  return high / total >= rule.min_fraction_high;
+}
+
+}  // namespace
+
+MclAggregationResult RunMclAggregation(
+    std::span<const AggregateBlock> aggregates,
+    const MclAggregationParams& params) {
+  MclAggregationResult result;
+  Graph graph = BuildSimilarityGraph(aggregates);
+
+  // §6.4 parameter sweep on the whole (disconnected) graph.
+  SweepOutcome sweep =
+      SweepInflation(graph, params.inflation_candidates, params.mcl);
+  result.chosen_inflation = sweep.best_inflation;
+
+  // Per-component MCL (§6.3 preprocessing step 2).
+  std::vector<Component> components = SplitComponents(graph);
+  result.component_count = components.size();
+  MclParams mcl_params = params.mcl;
+  mcl_params.inflation = result.chosen_inflation;
+
+  for (const Component& component : components) {
+    if (component.vertices.size() == 1) {
+      result.unclustered.push_back(component.vertices.front());
+      continue;
+    }
+    MclResult mcl = RunMcl(component.graph, mcl_params);
+    for (const auto& local_cluster : mcl.clusters) {
+      if (local_cluster.size() < 2) {
+        for (std::uint32_t v : local_cluster) {
+          result.unclustered.push_back(component.vertices[v]);
+        }
+        continue;
+      }
+      ClusterInfo info;
+      info.aggregate_ids.reserve(local_cluster.size());
+      for (std::uint32_t v : local_cluster) {
+        info.aggregate_ids.push_back(component.vertices[v]);
+      }
+      std::sort(info.aggregate_ids.begin(), info.aggregate_ids.end());
+      info.matches_rule =
+          ClusterMatchesRule(aggregates, info.aggregate_ids, params.rule);
+      result.clusters.push_back(std::move(info));
+    }
+  }
+  return result;
+}
+
+void ValidateClusters(const netsim::Internet& internet,
+                      std::span<const probing::ZmapBlock> study_blocks,
+                      std::span<const AggregateBlock> aggregates,
+                      MclAggregationResult& result,
+                      const ValidationParams& params) {
+  netsim::Rng rng(params.seed);
+
+  // Snapshot lookup by prefix (study_blocks sorted by prefix).
+  auto find_block =
+      [&](const netsim::Prefix& p) -> const probing::ZmapBlock* {
+    auto pos = std::lower_bound(
+        study_blocks.begin(), study_blocks.end(), p,
+        [](const probing::ZmapBlock& b, const netsim::Prefix& q) {
+          return b.prefix < q;
+        });
+    if (pos == study_blocks.end() || !(pos->prefix == p)) return nullptr;
+    return &*pos;
+  };
+
+  // Cache: reprobed last-hop set per /24.
+  std::map<netsim::Prefix, std::vector<netsim::Ipv4Address>> reprobed;
+  auto reprobe = [&](const netsim::Prefix& p)
+      -> const std::vector<netsim::Ipv4Address>* {
+    auto cached = reprobed.find(p);
+    if (cached != reprobed.end()) return &cached->second;
+    const probing::ZmapBlock* block = find_block(p);
+    if (block == nullptr) return nullptr;
+    core::BlockResult r = core::ReprobeBlock(
+        internet, *block,
+        netsim::StableHash({params.seed, p.base().value()}));
+    return &reprobed.emplace(p, std::move(r.last_hop_set)).first->second;
+  };
+
+  for (ClusterInfo& cluster : result.clusters) {
+    // Collect the member /24s.
+    std::vector<const netsim::Prefix*> members;
+    for (std::uint32_t id : cluster.aggregate_ids) {
+      for (const netsim::Prefix& p : aggregates[id].member_24s) {
+        members.push_back(&p);
+      }
+    }
+    if (members.size() < 2) {
+      cluster.identical_pair_ratio = 1.0;
+      cluster.validated_homogeneous = true;
+      continue;
+    }
+    const std::size_t total_pairs = members.size() * (members.size() - 1) / 2;
+    const std::size_t want =
+        std::min(params.max_pairs_per_cluster, total_pairs);
+    std::size_t identical = 0;
+    std::size_t compared = 0;
+    for (std::size_t k = 0; k < want; ++k) {
+      std::size_t i = rng.NextBelow(members.size());
+      std::size_t j = rng.NextBelow(members.size() - 1);
+      if (j >= i) ++j;
+      const auto* set_a = reprobe(*members[i]);
+      const auto* set_b = reprobe(*members[j]);
+      if (set_a == nullptr || set_b == nullptr) continue;
+      ++compared;
+      if (*set_a == *set_b && !set_a->empty()) ++identical;
+    }
+    cluster.identical_pair_ratio =
+        compared == 0 ? 0.0
+                      : static_cast<double>(identical) / compared;
+    cluster.validated_homogeneous =
+        compared > 0 && identical == compared;
+  }
+}
+
+std::vector<AggregateBlock> MergeValidatedClusters(
+    std::span<const AggregateBlock> aggregates,
+    const MclAggregationResult& result) {
+  std::vector<bool> consumed(aggregates.size(), false);
+  std::vector<AggregateBlock> merged;
+
+  for (const ClusterInfo& cluster : result.clusters) {
+    if (!cluster.validated_homogeneous) continue;
+    AggregateBlock block;
+    for (std::uint32_t id : cluster.aggregate_ids) {
+      consumed[id] = true;
+      const AggregateBlock& a = aggregates[id];
+      block.member_24s.insert(block.member_24s.end(), a.member_24s.begin(),
+                              a.member_24s.end());
+      for (netsim::Ipv4Address r : a.last_hops) {
+        auto pos = std::lower_bound(block.last_hops.begin(),
+                                    block.last_hops.end(), r);
+        if (pos == block.last_hops.end() || *pos != r) {
+          block.last_hops.insert(pos, r);
+        }
+      }
+    }
+    std::sort(block.member_24s.begin(), block.member_24s.end());
+    merged.push_back(std::move(block));
+  }
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    if (!consumed[i]) merged.push_back(aggregates[i]);
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const AggregateBlock& a, const AggregateBlock& b) {
+              if (a.member_24s.size() != b.member_24s.size()) {
+                return a.member_24s.size() > b.member_24s.size();
+              }
+              return a.member_24s.front() < b.member_24s.front();
+            });
+  return merged;
+}
+
+}  // namespace hobbit::cluster

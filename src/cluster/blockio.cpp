@@ -1,0 +1,132 @@
+#include "cluster/blockio.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace hobbit::cluster {
+namespace {
+
+/// Splits a comma-separated field; empty input gives an empty list.
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < text.size()) out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool Fail(std::string* error, int line, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + message;
+  }
+  return false;
+}
+
+}  // namespace
+
+void WriteBlocks(std::ostream& os, std::span<const AggregateBlock> blocks) {
+  os << "HobbitBlocks v1\n";
+  os << "# " << blocks.size() << " blocks\n";
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const AggregateBlock& block = blocks[i];
+    os << "B" << i << " hops=";
+    for (std::size_t h = 0; h < block.last_hops.size(); ++h) {
+      if (h > 0) os << ',';
+      os << block.last_hops[h].ToString();
+    }
+    os << " members=";
+    for (std::size_t m = 0; m < block.member_24s.size(); ++m) {
+      if (m > 0) os << ',';
+      os << block.member_24s[m].ToString();
+    }
+    os << "\n";
+  }
+}
+
+std::optional<std::vector<AggregateBlock>> ReadBlocks(std::istream& is,
+                                                      std::string* error) {
+  std::vector<AggregateBlock> blocks;
+  std::string line;
+  int line_number = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line != "HobbitBlocks v1") {
+        Fail(error, line_number, "missing 'HobbitBlocks v1' header");
+        return std::nullopt;
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string id, hops_field, members_field;
+    fields >> id >> hops_field >> members_field;
+    if (id.empty() || id[0] != 'B' ||
+        hops_field.rfind("hops=", 0) != 0 ||
+        members_field.rfind("members=", 0) != 0) {
+      Fail(error, line_number, "malformed record: " + line);
+      return std::nullopt;
+    }
+    AggregateBlock block;
+    for (const std::string& hop : SplitCommas(hops_field.substr(5))) {
+      auto address = netsim::Ipv4Address::Parse(hop);
+      if (!address) {
+        Fail(error, line_number, "bad last-hop address: " + hop);
+        return std::nullopt;
+      }
+      block.last_hops.push_back(*address);
+    }
+    for (const std::string& member : SplitCommas(members_field.substr(8))) {
+      auto prefix = netsim::Prefix::Parse(member);
+      if (!prefix || prefix->length() != 24) {
+        Fail(error, line_number, "bad member /24: " + member);
+        return std::nullopt;
+      }
+      block.member_24s.push_back(*prefix);
+    }
+    if (block.member_24s.empty()) {
+      Fail(error, line_number, "block without members");
+      return std::nullopt;
+    }
+    std::sort(block.last_hops.begin(), block.last_hops.end());
+    std::sort(block.member_24s.begin(), block.member_24s.end());
+    blocks.push_back(std::move(block));
+  }
+  if (!saw_header) {
+    Fail(error, line_number, "empty input");
+    return std::nullopt;
+  }
+  return blocks;
+}
+
+BlockIndex::BlockIndex(std::span<const AggregateBlock> blocks) {
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (const netsim::Prefix& p : blocks[b].member_24s) {
+      entries_.emplace_back(p, static_cast<int>(b));
+    }
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
+int BlockIndex::BlockOf(const netsim::Prefix& slash24) const {
+  auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), slash24,
+      [](const std::pair<netsim::Prefix, int>& e, const netsim::Prefix& p) {
+        return e.first < p;
+      });
+  if (pos == entries_.end() || !(pos->first == slash24)) return -1;
+  return pos->second;
+}
+
+}  // namespace hobbit::cluster

@@ -1,0 +1,44 @@
+// blockio.h — serialising Hobbit block lists.
+//
+// The paper publishes its blocks as a downloadable dataset ("We make the
+// Hobbit blocks publicly available").  This is the equivalent: a plain
+// one-record-per-line text format, stable under round trips, loadable by
+// downstream consumers that only need prefix -> block membership.
+//
+// Format (version 1):
+//   # comments and blank lines are ignored
+//   HobbitBlocks v1
+//   B<id> hops=<ip>[,<ip>...] members=<prefix>[,<prefix>...]
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/aggregate.h"
+
+namespace hobbit::cluster {
+
+/// Writes `blocks` in the v1 text format.
+void WriteBlocks(std::ostream& os, std::span<const AggregateBlock> blocks);
+
+/// Parses a v1 block list.  Returns nullopt on any syntax error and, when
+/// `error` is non-null, stores a line-anchored message.
+std::optional<std::vector<AggregateBlock>> ReadBlocks(
+    std::istream& is, std::string* error = nullptr);
+
+/// Finds the block containing a /24 (linear index built once).
+class BlockIndex {
+ public:
+  explicit BlockIndex(std::span<const AggregateBlock> blocks);
+
+  /// Index into the original span, or -1.
+  int BlockOf(const netsim::Prefix& slash24) const;
+
+ private:
+  std::vector<std::pair<netsim::Prefix, int>> entries_;  // sorted
+};
+
+}  // namespace hobbit::cluster

@@ -1,0 +1,43 @@
+#include "cluster/components.h"
+
+#include <algorithm>
+
+namespace hobbit::cluster {
+
+std::vector<Component> SplitComponents(const Graph& graph) {
+  UnionFind uf(graph.vertex_count);
+  for (const Graph::Edge& e : graph.edges) uf.Union(e.a, e.b);
+
+  // Map each root to a dense component index.
+  std::vector<std::int64_t> component_of(graph.vertex_count, -1);
+  std::vector<Component> components;
+  for (std::uint32_t v = 0; v < graph.vertex_count; ++v) {
+    std::uint32_t root = uf.Find(v);
+    if (component_of[root] < 0) {
+      component_of[root] = static_cast<std::int64_t>(components.size());
+      components.emplace_back();
+    }
+    component_of[v] = component_of[root];
+  }
+
+  // Local vertex ids, in increasing original id per component.
+  std::vector<std::uint32_t> local_id(graph.vertex_count);
+  for (std::uint32_t v = 0; v < graph.vertex_count; ++v) {
+    Component& comp =
+        components[static_cast<std::size_t>(component_of[v])];
+    local_id[v] = static_cast<std::uint32_t>(comp.vertices.size());
+    comp.vertices.push_back(v);
+  }
+  for (Component& comp : components) {
+    comp.graph.vertex_count =
+        static_cast<std::uint32_t>(comp.vertices.size());
+  }
+  for (const Graph::Edge& e : graph.edges) {
+    Component& comp =
+        components[static_cast<std::size_t>(component_of[e.a])];
+    comp.graph.edges.push_back({local_id[e.a], local_id[e.b], e.weight});
+  }
+  return components;
+}
+
+}  // namespace hobbit::cluster

@@ -1,0 +1,61 @@
+// components.h — union-find and connected components.
+//
+// §6.3 splits the similarity graph into connected components before
+// clustering: MCL's cubic time and quadratic space make per-component runs
+// essential at 0.5M vertices, and unreachable vertices never cluster
+// together anyway.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "cluster/mcl.h"
+
+namespace hobbit::cluster {
+
+/// Plain disjoint-set union with path halving and size union.
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::uint32_t Find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true when the two sets were distinct.
+  bool Union(std::uint32_t a, std::uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  std::uint32_t SizeOf(std::uint32_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+/// One connected component of a Graph, with vertex ids remapped to
+/// [0, vertices.size()) so MCL can run on it directly.
+struct Component {
+  std::vector<std::uint32_t> vertices;  ///< original vertex ids
+  Graph graph;                          ///< edges in local ids
+};
+
+/// Splits a graph into its connected components (isolated vertices come
+/// back as single-vertex components).
+std::vector<Component> SplitComponents(const Graph& graph);
+
+}  // namespace hobbit::cluster

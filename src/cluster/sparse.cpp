@@ -1,0 +1,161 @@
+#include "cluster/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hobbit::cluster {
+
+SparseMatrix SparseMatrix::FromTriplets(std::uint32_t n,
+                                        std::vector<Triplet> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.col != b.col) return a.col < b.col;
+              return a.row < b.row;
+            });
+  SparseMatrix m(n);
+  m.rows_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::uint32_t current_col = 0;
+  for (std::size_t i = 0; i < triplets.size();) {
+    const Triplet& t = triplets[i];
+    while (current_col < t.col) m.col_start_[++current_col] = m.rows_.size();
+    double sum = t.value;
+    std::size_t j = i + 1;
+    while (j < triplets.size() && triplets[j].col == t.col &&
+           triplets[j].row == t.row) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.rows_.push_back(t.row);
+    m.values_.push_back(sum);
+    i = j;
+  }
+  while (current_col < n) m.col_start_[++current_col] = m.rows_.size();
+  return m;
+}
+
+void SparseMatrix::NormalizeColumns() {
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    double sum = 0.0;
+    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+      sum += values_[i];
+    }
+    if (sum <= 0.0) continue;
+    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+      values_[i] /= sum;
+    }
+  }
+}
+
+void SparseMatrix::Inflate(double power) {
+  for (double& v : values_) v = std::pow(v, power);
+  NormalizeColumns();
+}
+
+void SparseMatrix::Prune(double threshold, std::size_t max_per_column) {
+  std::vector<std::size_t> new_start(n_ + 1, 0);
+  std::vector<std::uint32_t> new_rows;
+  std::vector<double> new_values;
+  new_rows.reserve(rows_.size());
+  new_values.reserve(values_.size());
+  std::vector<std::pair<double, std::uint32_t>> kept;
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    kept.clear();
+    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+      if (values_[i] >= threshold) kept.emplace_back(values_[i], rows_[i]);
+    }
+    if (kept.size() > max_per_column) {
+      std::nth_element(kept.begin(),
+                       kept.begin() + static_cast<std::ptrdiff_t>(
+                                          max_per_column),
+                       kept.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      kept.resize(max_per_column);
+    }
+    std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+      return a.second < b.second;
+    });
+    for (const auto& [value, row] : kept) {
+      new_rows.push_back(row);
+      new_values.push_back(value);
+    }
+    new_start[c + 1] = new_rows.size();
+  }
+  col_start_ = std::move(new_start);
+  rows_ = std::move(new_rows);
+  values_ = std::move(new_values);
+  NormalizeColumns();
+}
+
+SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other) const {
+  // result = this * other, column by column: result[:,c] is a linear
+  // combination of this's columns selected by other[:,c].
+  SparseMatrix result(n_);
+  std::vector<double> accumulator(n_, 0.0);
+  std::vector<std::uint32_t> touched;
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    touched.clear();
+    ColumnView oc = other.Column(c);
+    for (std::size_t i = 0; i < oc.count; ++i) {
+      const std::uint32_t k = oc.rows[i];
+      const double w = oc.values[i];
+      ColumnView tc = Column(k);
+      for (std::size_t j = 0; j < tc.count; ++j) {
+        const std::uint32_t r = tc.rows[j];
+        if (accumulator[r] == 0.0) touched.push_back(r);
+        accumulator[r] += w * tc.values[j];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (std::uint32_t r : touched) {
+      result.rows_.push_back(r);
+      result.values_.push_back(accumulator[r]);
+      accumulator[r] = 0.0;
+    }
+    result.col_start_[c + 1] = result.rows_.size();
+  }
+  return result;
+}
+
+double SparseMatrix::Chaos() const {
+  // For each column: max - sum-of-squares; the global chaos is the max.
+  double chaos = 0.0;
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    ColumnView col = Column(c);
+    double max_v = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < col.count; ++i) {
+      max_v = std::max(max_v, col.values[i]);
+      sum_sq += col.values[i] * col.values[i];
+    }
+    chaos = std::max(chaos, max_v - sum_sq);
+  }
+  return chaos;
+}
+
+double SparseMatrix::MaxDifference(const SparseMatrix& other) const {
+  double diff = 0.0;
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    ColumnView a = Column(c);
+    ColumnView b = other.Column(c);
+    std::size_t i = 0, j = 0;
+    while (i < a.count || j < b.count) {
+      if (j >= b.count || (i < a.count && a.rows[i] < b.rows[j])) {
+        diff = std::max(diff, std::abs(a.values[i]));
+        ++i;
+      } else if (i >= a.count || b.rows[j] < a.rows[i]) {
+        diff = std::max(diff, std::abs(b.values[j]));
+        ++j;
+      } else {
+        diff = std::max(diff, std::abs(a.values[i] - b.values[j]));
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace hobbit::cluster

@@ -1,0 +1,118 @@
+#include "hobbit/confidence.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+
+#include "hobbit/hierarchy.h"
+
+namespace hobbit::core {
+
+void ConfidenceTable::Record(int cardinality, int probed, bool success) {
+  Cell& cell = At(cardinality, probed);
+  ++cell.trials;
+  if (success) ++cell.successes;
+}
+
+std::optional<double> ConfidenceTable::Confidence(
+    int cardinality, int probed, std::uint32_t min_trials) const {
+  const Cell& cell = At(cardinality, probed);
+  if (cell.trials < min_trials || cell.trials == 0) return std::nullopt;
+  return static_cast<double>(cell.successes) / cell.trials;
+}
+
+std::uint64_t ConfidenceTable::Trials(int cardinality, int probed) const {
+  return At(cardinality, probed).trials;
+}
+
+std::optional<int> ConfidenceTable::RequiredProbes(
+    int cardinality, double level, std::uint32_t min_trials) const {
+  for (int n = 1; n <= kMaxProbed; ++n) {
+    auto c = Confidence(cardinality, n, min_trials);
+    if (c && *c >= level) return n;
+  }
+  return std::nullopt;
+}
+
+ConfidenceTable ConfidenceTable::Build(
+    std::span<const FullyProbedBlock> dataset, netsim::Rng rng,
+    int samples_per_block) {
+  // Hobbit declares homogeneity the moment a *prefix* of the probing
+  // sequence groups non-hierarchically; non-laminarity is not monotone
+  // (growing ranges can nest again), so the success probability of the
+  // real prober is a first-passage probability over probing orders — not
+  // the probability that a random subset looks non-hierarchical.  Each
+  // sample therefore walks one random permutation of the block's
+  // observations and records, for every prefix length k, whether the walk
+  // has passed by k, keyed by the cardinality *observed at k* (all the
+  // prober can see when it consults the table).
+  ConfidenceTable table;
+  std::vector<std::uint32_t> indices;
+  std::vector<AddressGroup> groups;
+  std::map<netsim::Ipv4Address, std::pair<netsim::Ipv4Address,
+                                          netsim::Ipv4Address>>
+      ranges;  // router -> (min, max)
+  for (const FullyProbedBlock& block : dataset) {
+    if (!block.homogeneous) continue;
+    const auto total = static_cast<std::uint32_t>(block.observations.size());
+    if (total < 4) continue;
+    indices.resize(total);
+    for (std::uint32_t i = 0; i < total; ++i) indices[i] = i;
+    const auto walk_limit =
+        std::min<std::uint32_t>(total, ConfidenceTable::kMaxProbed);
+    for (int s = 0; s < samples_per_block; ++s) {
+      for (std::uint32_t i = 0; i + 1 < total; ++i) {
+        auto j = static_cast<std::uint32_t>(i + rng.NextBelow(total - i));
+        std::swap(indices[i], indices[j]);
+      }
+      ranges.clear();
+      bool passed = false;
+      std::vector<netsim::Ipv4Address> common;
+      for (std::uint32_t k = 0; k < walk_limit; ++k) {
+        const AddressObservation& obs = block.observations[indices[k]];
+        if (k == 0) {
+          common = obs.last_hops;
+        } else if (!common.empty()) {
+          std::vector<netsim::Ipv4Address> next;
+          std::set_intersection(common.begin(), common.end(),
+                                obs.last_hops.begin(), obs.last_hops.end(),
+                                std::back_inserter(next));
+          common = std::move(next);
+        }
+        for (netsim::Ipv4Address router : obs.last_hops) {
+          auto [pos, inserted] =
+              ranges.try_emplace(router, obs.address, obs.address);
+          if (!inserted) {
+            if (obs.address < pos->second.first) {
+              pos->second.first = obs.address;
+            }
+            if (pos->second.second < obs.address) {
+              pos->second.second = obs.address;
+            }
+          }
+        }
+        if (!passed && ranges.size() >= 2) {
+          groups.clear();
+          for (const auto& [router, range] : ranges) {
+            AddressGroup g;
+            g.router = router;
+            g.min = range.first;
+            g.max = range.second;
+            groups.push_back(std::move(g));
+          }
+          passed = !GroupsAreHierarchical(groups);
+        }
+        const int probed = static_cast<int>(k) + 1;
+        // Record only the states in which the prober actually consults
+        // the table: no common last hop across the addresses so far (a
+        // shared interface triggers the six-destination rule instead).
+        if (probed >= 4 && common.empty()) {
+          table.Record(static_cast<int>(ranges.size()), probed, passed);
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace hobbit::core

@@ -1,0 +1,81 @@
+// confidence.h — the empirical stopping table of Figure 4.
+//
+// Hobbit can mistake a homogeneous /24 for hierarchical when the
+// load-balancer hash happens to split the probed addresses into nested or
+// disjoint ranges ("false hierarchy").  The failure probability falls as
+// more addresses are probed and rises with cardinality (the number of
+// distinct last-hop routers).  The paper estimates the success probability
+// empirically: for every <cardinality, probes> cell, sample random
+// combinations of destinations from exhaustively-probed homogeneous /24s
+// and count how often Hobbit still recognises them.  The prober then stops
+// as soon as its current cell clears the confidence level.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hobbit/types.h"
+#include "netsim/rng.h"
+
+namespace hobbit::core {
+
+/// Sparse-ish 2D success/trial table keyed by
+/// (cardinality, number of probed addresses).
+class ConfidenceTable {
+ public:
+  /// Cells outside these bounds are folded into the boundary cell.
+  static constexpr int kMaxCardinality = 64;
+  static constexpr int kMaxProbed = 256;
+
+  void Record(int cardinality, int probed, bool success);
+
+  /// Success ratio of a cell, or nullopt when the cell has fewer than
+  /// `min_trials` samples (the paper's "no confidence value present").
+  std::optional<double> Confidence(int cardinality, int probed,
+                                   std::uint32_t min_trials = 1) const;
+
+  std::uint64_t Trials(int cardinality, int probed) const;
+
+  /// Smallest number of probed addresses whose confidence at this
+  /// cardinality reaches `level`; nullopt when no such cell exists.
+  std::optional<int> RequiredProbes(int cardinality, double level,
+                                    std::uint32_t min_trials = 1) const;
+
+  /// Builds the table from exhaustively probed blocks (only those Hobbit
+  /// judged homogeneous on full information are used).  For every block,
+  /// `samples_per_block` random probing *orders* are walked; every prefix
+  /// of a walk contributes one trial to the cell
+  /// <cardinality observed at that prefix, prefix length>, successful when
+  /// the walk has already passed a non-hierarchical grouping (or still
+  /// sees a single last hop).  This first-passage semantics matches the
+  /// prober's stop-at-first-non-hierarchy behaviour exactly.
+  static ConfidenceTable Build(std::span<const FullyProbedBlock> dataset,
+                               netsim::Rng rng, int samples_per_block);
+
+ private:
+  struct Cell {
+    std::uint32_t successes = 0;
+    std::uint32_t trials = 0;
+  };
+  static int ClampC(int c) {
+    return c < 1 ? 1 : (c > kMaxCardinality ? kMaxCardinality : c);
+  }
+  static int ClampN(int n) {
+    return n < 1 ? 1 : (n > kMaxProbed ? kMaxProbed : n);
+  }
+  Cell& At(int c, int n) {
+    return cells_[static_cast<std::size_t>(ClampC(c) - 1) * kMaxProbed +
+                  (ClampN(n) - 1)];
+  }
+  const Cell& At(int c, int n) const {
+    return cells_[static_cast<std::size_t>(ClampC(c) - 1) * kMaxProbed +
+                  (ClampN(n) - 1)];
+  }
+
+  std::vector<Cell> cells_ = std::vector<Cell>(
+      static_cast<std::size_t>(kMaxCardinality) * kMaxProbed);
+};
+
+}  // namespace hobbit::core

@@ -1,0 +1,75 @@
+#include "hobbit/hierarchy.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+
+namespace hobbit::core {
+
+std::vector<AddressGroup> GroupByLastHop(
+    std::span<const AddressObservation> observations) {
+  return GroupByLastHopGeneric<netsim::Ipv4Address>(observations);
+}
+
+bool GroupsAreHierarchical(std::span<const AddressGroup> groups) {
+  return GroupsAreHierarchicalGeneric<netsim::Ipv4Address>(groups);
+}
+
+bool HaveCommonLastHop(std::span<const AddressObservation> observations) {
+  return HaveCommonLastHopGeneric<netsim::Ipv4Address>(observations);
+}
+
+bool HobbitSaysHomogeneous(
+    std::span<const AddressObservation> observations) {
+  return HobbitVerdictGeneric<netsim::Ipv4Address>(observations);
+}
+
+bool IsAlignedDisjoint(std::span<const AddressGroup> groups) {
+  if (groups.size() < 2) return false;
+  // Every group needs at least two members: a singleton's spanning
+  // "subnet" is a /32, which is trivially aligned and says nothing about
+  // route entries — thinly sampled per-destination balancing would
+  // otherwise masquerade as customer sub-blocks.
+  for (const AddressGroup& group : groups) {
+    if (group.members.size() < 2) return false;
+  }
+  // Pairwise disjoint ranges.
+  std::vector<const AddressGroup*> sorted;
+  sorted.reserve(groups.size());
+  for (const AddressGroup& g : groups) sorted.push_back(&g);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const AddressGroup* a, const AddressGroup* b) {
+              return a->min < b->min;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i]->min <= sorted[i - 1]->max) return false;
+  }
+  // Aligned: each spanning subnet contains only its own group's members.
+  for (const AddressGroup* g : sorted) {
+    netsim::Prefix span_prefix = netsim::SpanningPrefix(g->min, g->max);
+    for (const AddressGroup* other : sorted) {
+      if (other == g) continue;
+      // Testing the other group's extremes suffices: the spanning prefix
+      // is an interval, so if it contains any member of `other` it must
+      // contain other->min or other->max (otherwise `other`'s range would
+      // straddle this group's range, contradicting disjointness).
+      if (span_prefix.Contains(other->min) ||
+          span_prefix.Contains(other->max)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<int> SubBlockComposition(std::span<const AddressGroup> groups) {
+  std::vector<int> lengths;
+  lengths.reserve(groups.size());
+  for (const AddressGroup& g : groups) {
+    lengths.push_back(netsim::SpanningPrefix(g.min, g.max).length());
+  }
+  std::sort(lengths.begin(), lengths.end());
+  return lengths;
+}
+
+}  // namespace hobbit::core

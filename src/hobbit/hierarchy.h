@@ -1,0 +1,59 @@
+// hierarchy.h — the heart of Hobbit (paper §2.3).
+//
+// Group probed addresses by last-hop router and represent each group by
+// the numeric range [min, max] of its members.  Distinct route entries are
+// prefix-based, so ranges caused by *routing* form a laminar family: any
+// two are disjoint or nested.  Load-balancer hashes interleave addresses,
+// so a *non-hierarchical* (partially overlapping) pair of ranges is
+// positive evidence that the last-hop differences are load balancing —
+// i.e. that the block is homogeneous.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hobbit/hierarchy_generic.h"
+#include "hobbit/types.h"
+#include "netsim/ipv4.h"
+
+namespace hobbit::core {
+
+/// One last-hop group: the addresses that share a last-hop interface.
+/// (An instantiation of the generic machinery; the IPv6 pilot uses the
+/// same template over 128-bit addresses.)
+using AddressGroup = BasicAddressGroup<netsim::Ipv4Address>;
+
+/// Builds groups from observations.  An address with several last-hop
+/// interfaces joins every corresponding group.  Observations with no
+/// identified last hop are skipped.  Groups come back sorted by router.
+std::vector<AddressGroup> GroupByLastHop(
+    std::span<const AddressObservation> observations);
+
+/// True when every pair of group ranges is hierarchical (disjoint or one
+/// containing the other).  Vacuously true for fewer than two groups.
+bool GroupsAreHierarchical(std::span<const AddressGroup> groups);
+
+/// True when some last-hop interface appears in EVERY observation — the
+/// paper's "all the addresses have a common last-hop router" condition.
+/// (Per-flow load balancing at the final hop gives each address several
+/// last-hop interfaces; sharing one is enough.)
+bool HaveCommonLastHop(std::span<const AddressObservation> observations);
+
+/// Hobbit's homogeneity verdict on a set of observations: a common
+/// last-hop router shared by all addresses, or a non-hierarchical
+/// grouping.
+bool HobbitSaysHomogeneous(std::span<const AddressObservation> observations);
+
+/// The §4.2 "very likely heterogeneous" test: at least two groups, each
+/// with at least two members (singleton /32 spans carry no route-entry
+/// evidence), all pairwise *disjoint*, and *aligned* — each group's
+/// spanning subnet (the longest-common-prefix subnet of its members)
+/// contains no member of any other group.
+bool IsAlignedDisjoint(std::span<const AddressGroup> groups);
+
+/// Sub-block composition of an aligned-disjoint /24 (Table 2): the
+/// spanning-prefix lengths of the groups, sorted ascending (so {/25,/26,
+/// /26} prints in the paper's order).
+std::vector<int> SubBlockComposition(std::span<const AddressGroup> groups);
+
+}  // namespace hobbit::core

@@ -1,0 +1,110 @@
+// hierarchy_generic.h — the Hobbit hierarchy machinery, generic over the
+// address type.
+//
+// Hobbit's core argument never uses anything IPv4-specific: it needs a
+// totally ordered address space in which route entries are contiguous
+// ranges.  The generic implementation below serves both the IPv4 study
+// (hierarchy.h) and the IPv6 pilot (ipv6_pilot.h, the paper's stated
+// future work).
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace hobbit::core {
+
+/// One last-hop group over an arbitrary ordered address type.
+template <typename Address>
+struct BasicAddressGroup {
+  Address router;
+  std::vector<Address> members;  // sorted
+  Address min;
+  Address max;
+};
+
+/// Groups observations (anything with `.address` and a sorted
+/// `.last_hops` container of Address) by last-hop router.
+template <typename Address, typename Observation>
+std::vector<BasicAddressGroup<Address>> GroupByLastHopGeneric(
+    std::span<const Observation> observations) {
+  std::map<Address, std::vector<Address>> by_router;
+  for (const Observation& obs : observations) {
+    for (const Address& router : obs.last_hops) {
+      by_router[router].push_back(obs.address);
+    }
+  }
+  std::vector<BasicAddressGroup<Address>> groups;
+  groups.reserve(by_router.size());
+  for (auto& [router, members] : by_router) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    BasicAddressGroup<Address> group;
+    group.router = router;
+    group.min = members.front();
+    group.max = members.back();
+    group.members = std::move(members);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+/// Laminar-family check: every pair of group ranges disjoint or nested.
+template <typename Address>
+bool GroupsAreHierarchicalGeneric(
+    std::span<const BasicAddressGroup<Address>> groups) {
+  if (groups.size() < 2) return true;
+  struct Range {
+    Address min, max;
+  };
+  std::vector<Range> ranges;
+  ranges.reserve(groups.size());
+  for (const auto& group : groups) ranges.push_back({group.min, group.max});
+  std::sort(ranges.begin(), ranges.end(),
+            [](const Range& a, const Range& b) {
+              if (a.min < b.min) return true;
+              if (b.min < a.min) return false;
+              return b.max < a.max;  // wider first on equal min
+            });
+  std::vector<Range> stack;
+  for (const Range& cur : ranges) {
+    while (!stack.empty() && stack.back().max < cur.min) stack.pop_back();
+    if (!stack.empty() && stack.back().max < cur.max) return false;
+    stack.push_back(cur);
+  }
+  return true;
+}
+
+/// True when some last-hop router appears in every observation.
+template <typename Address, typename Observation>
+bool HaveCommonLastHopGeneric(std::span<const Observation> observations) {
+  if (observations.empty()) return false;
+  std::vector<Address> common(observations.front().last_hops.begin(),
+                              observations.front().last_hops.end());
+  for (const Observation& obs : observations) {
+    if (common.empty()) return false;
+    std::vector<Address> next;
+    std::set_intersection(common.begin(), common.end(),
+                          obs.last_hops.begin(), obs.last_hops.end(),
+                          std::back_inserter(next));
+    common = std::move(next);
+  }
+  return !common.empty();
+}
+
+/// Hobbit's homogeneity verdict: one group, a common last hop, or a
+/// non-hierarchical grouping.
+template <typename Address, typename Observation>
+bool HobbitVerdictGeneric(std::span<const Observation> observations) {
+  auto groups = GroupByLastHopGeneric<Address>(observations);
+  if (groups.empty()) return false;
+  if (groups.size() == 1) return true;
+  if (HaveCommonLastHopGeneric<Address>(observations)) return true;
+  return !GroupsAreHierarchicalGeneric<Address>(
+      std::span<const BasicAddressGroup<Address>>(groups));
+}
+
+}  // namespace hobbit::core

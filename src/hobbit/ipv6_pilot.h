@@ -1,0 +1,51 @@
+// ipv6_pilot.h — Hobbit over IPv6 (the paper's first future-work item:
+// "we intend to apply Hobbit to IPv6 networks").
+//
+// The natural IPv6 measurement unit is the /64 (one subnet's interface
+// identifier space).  The hierarchy argument carries over verbatim: IPv6
+// route entries are prefix-based, so genuinely distinct entries group a
+// /64's addresses into nested-or-disjoint ranges, while load-balancer
+// hashes interleave them.  This header instantiates the generic machinery
+// for 128-bit addresses; probing IPv6 networks (hitlists instead of
+// exhaustive scans, MDA over flow labels) is intentionally out of scope
+// for the pilot.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hobbit/hierarchy_generic.h"
+#include "netsim/ipv6.h"
+
+namespace hobbit::core {
+
+/// One probed IPv6 destination and its last-hop interface set (sorted).
+struct Ipv6Observation {
+  netsim::Ipv6Address address;
+  std::vector<netsim::Ipv6Address> last_hops;
+};
+
+using Ipv6AddressGroup = BasicAddressGroup<netsim::Ipv6Address>;
+
+inline std::vector<Ipv6AddressGroup> GroupByLastHop6(
+    std::span<const Ipv6Observation> observations) {
+  return GroupByLastHopGeneric<netsim::Ipv6Address>(observations);
+}
+
+inline bool GroupsAreHierarchical6(
+    std::span<const Ipv6AddressGroup> groups) {
+  return GroupsAreHierarchicalGeneric<netsim::Ipv6Address>(groups);
+}
+
+inline bool HaveCommonLastHop6(
+    std::span<const Ipv6Observation> observations) {
+  return HaveCommonLastHopGeneric<netsim::Ipv6Address>(observations);
+}
+
+/// Hobbit's homogeneity verdict for one /64's observations.
+inline bool HobbitSaysHomogeneous6(
+    std::span<const Ipv6Observation> observations) {
+  return HobbitVerdictGeneric<netsim::Ipv6Address>(observations);
+}
+
+}  // namespace hobbit::core

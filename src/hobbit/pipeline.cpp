@@ -1,0 +1,131 @@
+#include "hobbit/pipeline.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace hobbit::core {
+
+std::string ToString(Classification c) {
+  switch (c) {
+    case Classification::kTooFewActive: return "Too few active";
+    case Classification::kUnresponsiveLastHop: return "Unresponsive last-hop";
+    case Classification::kSameLastHop: return "Same last-hop router";
+    case Classification::kNonHierarchical: return "Non-hierarchical";
+    case Classification::kDifferentButHierarchical:
+      return "Different but hierarchical";
+  }
+  return "?";
+}
+
+std::array<std::size_t, 5> PipelineResult::classification_counts() const {
+  std::array<std::size_t, 5> counts{};
+  for (const BlockResult& r : results) {
+    counts[static_cast<std::size_t>(r.classification)]++;
+  }
+  return counts;
+}
+
+std::vector<const BlockResult*> PipelineResult::HomogeneousBlocks() const {
+  std::vector<const BlockResult*> out;
+  for (const BlockResult& r : results) {
+    if (IsHomogeneous(r.classification)) out.push_back(&r);
+  }
+  return out;
+}
+
+namespace {
+
+/// Runs `body(i)` for i in [0, count), sharded across `threads` workers.
+/// Work items must be independent; results land wherever `body` writes.
+template <typename Body>
+void RunSharded(int threads, std::size_t count, Body body) {
+  if (threads <= 1 || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  const auto worker_count =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), count);
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::size_t i = w; i < count; i += worker_count) body(i);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace
+
+PipelineResult RunPipeline(const netsim::Internet& internet,
+                           const PipelineConfig& config,
+                           const netsim::Simulator* simulator) {
+  if (simulator == nullptr) simulator = internet.simulator.get();
+  PipelineResult result;
+  netsim::Rng rng(config.seed);
+
+  // Stage 0: snapshot + universe selection (liveness read through the
+  // chosen simulator's epoch).
+  probing::ZmapSnapshot snapshot =
+      probing::RunZmapScan(internet, internet.study_24s, simulator);
+  result.stats.snapshot_active_addresses = snapshot.ActiveCount();
+  result.stats.candidate_24s = snapshot.blocks.size();
+  result.study_blocks = probing::SelectStudyBlocks(snapshot);
+  result.stats.study_24s = result.study_blocks.size();
+
+  // Stage 1: calibration — exhaustively probe a uniform sample.
+  {
+    const std::uint64_t before = simulator->probes_sent();
+    const std::size_t universe = result.study_blocks.size();
+    std::size_t want = std::min<std::size_t>(
+        universe, static_cast<std::size_t>(std::max(0,
+                                                    config.calibration_blocks)));
+    // Uniform sample without replacement via partial Fisher-Yates over
+    // indices.
+    std::vector<std::uint32_t> indices(universe);
+    for (std::size_t i = 0; i < universe; ++i) {
+      indices[i] = static_cast<std::uint32_t>(i);
+    }
+    netsim::Rng sample_rng = rng.Fork(0xCA11BULL);
+    for (std::size_t i = 0; i < want; ++i) {
+      std::size_t j = i + sample_rng.NextBelow(universe - i);
+      std::swap(indices[i], indices[j]);
+    }
+    result.calibration.resize(want);
+    RunSharded(config.threads, want, [&](std::size_t i) {
+      BlockProber shard_prober(simulator, nullptr, config.prober);
+      result.calibration[i] = shard_prober.ProbeBlockFully(
+          result.study_blocks[indices[i]], rng.Fork(indices[i]));
+    });
+    result.stats.probes_sent += simulator->probes_sent() - before;
+  }
+  result.table = ConfidenceTable::Build(result.calibration,
+                                        rng.Fork(0x7AB1EULL),
+                                        config.samples_per_block);
+
+  // Stage 2: the main measurement.
+  {
+    const std::uint64_t before = simulator->probes_sent();
+    result.results.resize(result.study_blocks.size());
+    RunSharded(config.threads, result.study_blocks.size(),
+               [&](std::size_t i) {
+                 BlockProber shard_prober(simulator, &result.table,
+                                          config.prober);
+                 result.results[i] = shard_prober.ProbeBlock(
+                     result.study_blocks[i], rng.Fork(0xB10CULL + i));
+               });
+    result.stats.probes_sent += simulator->probes_sent() - before;
+  }
+  return result;
+}
+
+BlockResult ReprobeBlock(const netsim::Internet& internet,
+                         const probing::ZmapBlock& block,
+                         std::uint64_t seed) {
+  ProberOptions options;
+  options.reprobe_strategy = true;
+  BlockProber prober(internet.simulator.get(), nullptr, options);
+  return prober.ProbeBlock(block, netsim::Rng(seed));
+}
+
+}  // namespace hobbit::core

@@ -1,0 +1,75 @@
+// pipeline.h — the end-to-end measurement campaign.
+//
+// Mirrors the paper's workflow:
+//   1. ZMap snapshot over the candidate space; keep /24s whose every /26
+//      has an active address (§3.3).
+//   2. Calibration: exhaustively probe a sample of blocks and build the
+//      <cardinality, probes> confidence table (§3.2, Fig 4).
+//   3. Main measurement: adaptively probe every study /24 (§3.5) and
+//      classify it (Table 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hobbit/confidence.h"
+#include "hobbit/prober.h"
+#include "hobbit/types.h"
+#include "netsim/internet.h"
+#include "probing/zmap.h"
+
+namespace hobbit::core {
+
+struct PipelineConfig {
+  std::uint64_t seed = 1;
+  /// Worker threads for the probing stages.  Results are identical for
+  /// any thread count (each block's probing is self-contained and
+  /// deterministically seeded).
+  int threads = 1;
+  /// Blocks probed exhaustively in the calibration stage.
+  int calibration_blocks = 1500;
+  /// Random destination subsets evaluated per calibration block.
+  int samples_per_block = 64;
+  ProberOptions prober;
+};
+
+struct PipelineStats {
+  std::uint64_t snapshot_active_addresses = 0;
+  std::size_t candidate_24s = 0;   ///< /24s with any snapshot responder
+  std::size_t study_24s = 0;       ///< /24s passing the /26 criterion
+  std::uint64_t probes_sent = 0;   ///< calibration + measurement packets
+};
+
+struct PipelineResult {
+  /// The study universe (sorted by prefix) and its snapshot records.
+  std::vector<probing::ZmapBlock> study_blocks;
+  /// Main-measurement outcome, parallel to study_blocks.
+  std::vector<BlockResult> results;
+  /// Calibration dataset (exhaustively probed blocks).
+  std::vector<FullyProbedBlock> calibration;
+  ConfidenceTable table;
+  PipelineStats stats;
+
+  /// Counts per Classification value, Table 1 style.
+  std::array<std::size_t, 5> classification_counts() const;
+
+  /// The homogeneous blocks (same-last-hop or non-hierarchical), each with
+  /// its observed last-hop set — the input to aggregation (§5).
+  std::vector<const BlockResult*> HomogeneousBlocks() const;
+};
+
+/// Runs the campaign.  `simulator` overrides the internet's primary
+/// simulator (another vantage or a later epoch); nullptr uses the
+/// default.
+PipelineResult RunPipeline(const netsim::Internet& internet,
+                           const PipelineConfig& config,
+                           const netsim::Simulator* simulator = nullptr);
+
+/// §6.5 reprobing: re-measures one /24 with the modified strategy (no
+/// early stop, MDA-confident exhaustion of its last-hop set) and returns
+/// the full observation set.
+BlockResult ReprobeBlock(const netsim::Internet& internet,
+                         const probing::ZmapBlock& block, std::uint64_t seed);
+
+}  // namespace hobbit::core

@@ -1,0 +1,235 @@
+#include "hobbit/prober.h"
+
+#include <algorithm>
+#include <array>
+#include <iterator>
+
+#include "hobbit/hierarchy.h"
+#include "probing/last_hop.h"
+#include "probing/traceroute.h"
+
+namespace hobbit::core {
+namespace {
+
+/// Destination iterator implementing §3.3: group active octets by /26,
+/// deal them round-robin, reshuffling the /26 order at each round.
+class DestinationSchedule {
+ public:
+  DestinationSchedule(const probing::ZmapBlock& block, netsim::Rng rng)
+      : base_(block.prefix.base()), rng_(rng) {
+    for (std::uint8_t octet : block.active_octets) {
+      quarters_[octet >> 6].push_back(octet);
+    }
+    // Probe order inside each /26 is randomized once.
+    for (auto& q : quarters_) {
+      for (std::size_t i = q.size(); i > 1; --i) {
+        std::swap(q[i - 1], q[rng_.NextBelow(i)]);
+      }
+    }
+    order_ = {0, 1, 2, 3};
+    ShuffleOrder();
+  }
+
+  /// Next destination, or nullopt when all actives are consumed.
+  std::optional<netsim::Ipv4Address> Next() {
+    std::size_t remaining = 0;
+    for (int q = 0; q < 4; ++q) remaining += quarters_[q].size() - cursor_[q];
+    if (remaining == 0) return std::nullopt;
+    while (true) {
+      if (round_pos_ == order_.size()) {
+        round_pos_ = 0;
+        ShuffleOrder();
+      }
+      const std::uint8_t q = order_[round_pos_++];
+      if (cursor_[q] < quarters_[q].size()) {
+        std::uint8_t octet = quarters_[q][cursor_[q]++];
+        return netsim::Ipv4Address(base_.value() | octet);
+      }
+    }
+  }
+
+ private:
+  void ShuffleOrder() {
+    for (std::size_t i = order_.size(); i > 1; --i) {
+      std::swap(order_[i - 1], order_[rng_.NextBelow(i)]);
+    }
+  }
+
+  netsim::Ipv4Address base_;
+  netsim::Rng rng_;
+  std::array<std::vector<std::uint8_t>, 4> quarters_;
+  std::array<std::size_t, 4> cursor_ = {0, 0, 0, 0};
+  std::array<std::uint8_t, 4> order_;
+  std::size_t round_pos_ = 0;
+};
+
+void MergeLastHops(std::vector<netsim::Ipv4Address>& set,
+                   const std::vector<netsim::Ipv4Address>& add) {
+  for (netsim::Ipv4Address a : add) {
+    auto pos = std::lower_bound(set.begin(), set.end(), a);
+    if (pos == set.end() || *pos != a) set.insert(pos, a);
+  }
+}
+
+}  // namespace
+
+BlockResult BlockProber::ProbeBlock(const probing::ZmapBlock& block,
+                                    netsim::Rng rng) {
+  BlockResult result;
+  result.prefix = block.prefix;
+  result.active_in_snapshot = static_cast<int>(block.active_octets.size());
+
+  DestinationSchedule schedule(block, rng.Fork(0x5C4EDULL));
+  probing::LastHopProber prober(simulator_);
+
+  std::vector<AddressGroup> groups;
+  int usable = 0;                 // destinations with an identified last hop
+  int consecutive_no_new = 0;     // reprobe strategy counter
+  bool stopped_by_rule = false;
+  // Running intersection of per-address last-hop sets: non-empty means
+  // every probed address shares a common last-hop router.
+  std::vector<netsim::Ipv4Address> common;
+
+  while (auto destination = schedule.Next()) {
+    probing::LastHopResult lh = prober.Probe(*destination);
+    switch (lh.status) {
+      case probing::LastHopStatus::kHostUnresponsive:
+        ++result.hosts_unresponsive;
+        continue;
+      case probing::LastHopStatus::kLastHopUnresponsive:
+        ++result.lasthop_unresponsive;
+        continue;
+      case probing::LastHopStatus::kOk:
+        break;
+    }
+    const std::size_t before = result.last_hop_set.size();
+    MergeLastHops(result.last_hop_set, lh.last_hops);
+    if (usable == 0) {
+      common = lh.last_hops;
+    } else if (!common.empty()) {
+      std::vector<netsim::Ipv4Address> next;
+      std::set_intersection(common.begin(), common.end(),
+                            lh.last_hops.begin(), lh.last_hops.end(),
+                            std::back_inserter(next));
+      common = std::move(next);
+    }
+    result.observations.push_back({*destination, std::move(lh.last_hops)});
+    ++usable;
+    consecutive_no_new =
+        result.last_hop_set.size() == before ? consecutive_no_new + 1 : 0;
+
+    groups = GroupByLastHop(result.observations);
+    const int cardinality = static_cast<int>(groups.size());
+
+    if (options_.reprobe_strategy) {
+      // §6.5: keep going until the last-hop set is exhausted with MDA
+      // confidence; no early homogeneity stop.
+      if (consecutive_no_new >= probing::MdaProbeCount(
+                                    std::max(1, cardinality))) {
+        stopped_by_rule = true;
+        break;
+      }
+      continue;
+    }
+
+    // Standard strategy terminations.
+    if (common.empty() && cardinality >= 2 &&
+        !GroupsAreHierarchical(groups)) {
+      result.classification = Classification::kNonHierarchical;
+      result.probes_used = static_cast<int>(prober.probes_sent());
+      probes_sent_ += prober.probes_sent();
+      return result;
+    }
+    if (!common.empty() && usable >= options_.same_last_hop_stop) {
+      // Every destination shares a last-hop router (§3.5's six-probe
+      // rule; "common" rather than "only", since per-flow balancing at
+      // the final hop gives addresses several last-hop interfaces).
+      result.classification = Classification::kSameLastHop;
+      result.probes_used = static_cast<int>(prober.probes_sent());
+      probes_sent_ += prober.probes_sent();
+      return result;
+    }
+    // The confidence rule only concerns blocks with no common last hop: a
+    // shared interface is handled by the six-destination rule above, and
+    // its confidence cell would be trivially 1.0.
+    if (table_ != nullptr && common.empty() && cardinality >= 2 &&
+        usable >= options_.min_active) {
+      auto confidence = table_->Confidence(cardinality, usable,
+                                           options_.min_cell_trials);
+      if (confidence && *confidence >= options_.confidence_level) {
+        stopped_by_rule = true;
+        break;
+      }
+    }
+  }
+
+  result.probes_used = static_cast<int>(prober.probes_sent());
+  probes_sent_ += prober.probes_sent();
+
+  // Ran out of destinations, or the confidence rule fired.
+  if (usable < options_.min_active) {
+    result.classification = result.lasthop_unresponsive > 0 && usable == 0
+                                ? Classification::kUnresponsiveLastHop
+                                : Classification::kTooFewActive;
+    return result;
+  }
+  const int cardinality = static_cast<int>(groups.size());
+  if (!common.empty()) {
+    // A shared last hop throughout, but we never reached the
+    // six-destination rule: the block had too few usable addresses to
+    // trust the verdict.
+    result.classification = usable >= options_.same_last_hop_stop
+                                ? Classification::kSameLastHop
+                                : Classification::kTooFewActive;
+    return result;
+  }
+  if (cardinality >= 2 && !GroupsAreHierarchical(groups)) {
+    result.classification = Classification::kNonHierarchical;
+    return result;
+  }
+  if (stopped_by_rule) {
+    result.classification = Classification::kDifferentButHierarchical;
+    return result;
+  }
+  // Exhausted all actives with a hierarchical grouping.  If a confidence
+  // cell exists and says we probed enough, the hierarchy verdict stands;
+  // otherwise the paper files the block under "not analyzable".
+  if (table_ != nullptr) {
+    auto confidence = table_->Confidence(cardinality, usable,
+                                         options_.min_cell_trials);
+    if (confidence && *confidence >= options_.confidence_level) {
+      result.classification = Classification::kDifferentButHierarchical;
+      return result;
+    }
+    if (confidence) {
+      result.classification = Classification::kTooFewActive;
+      return result;
+    }
+  }
+  // No table (calibration) or no data for the cell: we probed everything
+  // there was to probe, so classify on the full information we have.
+  result.classification = Classification::kDifferentButHierarchical;
+  return result;
+}
+
+FullyProbedBlock BlockProber::ProbeBlockFully(const probing::ZmapBlock& block,
+                                              netsim::Rng rng) {
+  FullyProbedBlock result;
+  result.prefix = block.prefix;
+
+  DestinationSchedule schedule(block, rng.Fork(0xF0BBULL));
+  probing::LastHopProber prober(simulator_);
+  std::vector<netsim::Ipv4Address> union_set;
+  while (auto destination = schedule.Next()) {
+    probing::LastHopResult lh = prober.Probe(*destination);
+    if (lh.status != probing::LastHopStatus::kOk) continue;
+    MergeLastHops(union_set, lh.last_hops);
+    result.observations.push_back({*destination, std::move(lh.last_hops)});
+  }
+  probes_sent_ += prober.probes_sent();
+  result.cardinality = static_cast<int>(union_set.size());
+  result.homogeneous = HobbitSaysHomogeneous(result.observations);
+  return result;
+}
+
+}  // namespace hobbit::core

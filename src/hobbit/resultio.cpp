@@ -1,0 +1,147 @@
+#include "hobbit/resultio.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace hobbit::core {
+namespace {
+
+constexpr std::string_view kHeader = "HobbitResults v1";
+
+std::optional<int> ParseInt(std::string_view text) {
+  int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+bool Fail(std::string* error, int line, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + message;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view ClassificationToken(Classification c) {
+  switch (c) {
+    case Classification::kTooFewActive: return "too-few-active";
+    case Classification::kUnresponsiveLastHop: return "unresponsive";
+    case Classification::kSameLastHop: return "same-last-hop";
+    case Classification::kNonHierarchical: return "non-hierarchical";
+    case Classification::kDifferentButHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+std::optional<Classification> ParseClassificationToken(
+    std::string_view token) {
+  for (int c = 0; c < 5; ++c) {
+    auto classification = static_cast<Classification>(c);
+    if (ClassificationToken(classification) == token) {
+      return classification;
+    }
+  }
+  return std::nullopt;
+}
+
+void WriteResults(std::ostream& os, std::span<const BlockResult> results) {
+  os << kHeader << "\n";
+  os << "# prefix\tclass\tactive\tusable\tprobes\tlast-hops\n";
+  for (const BlockResult& r : results) {
+    os << r.prefix.ToString() << '\t' << ClassificationToken(r.classification)
+       << '\t' << r.active_in_snapshot << '\t' << r.observations.size()
+       << '\t' << r.probes_used << '\t';
+    for (std::size_t i = 0; i < r.last_hop_set.size(); ++i) {
+      if (i > 0) os << ',';
+      os << r.last_hop_set[i].ToString();
+    }
+    if (r.last_hop_set.empty()) os << '-';
+    os << '\n';
+  }
+}
+
+std::optional<std::vector<ResultRecord>> ReadResults(std::istream& is,
+                                                     std::string* error) {
+  std::vector<ResultRecord> records;
+  std::string line;
+  int line_number = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line != kHeader) {
+        Fail(error, line_number, "missing 'HobbitResults v1' header");
+        return std::nullopt;
+      }
+      saw_header = true;
+      continue;
+    }
+    // Split on tabs.
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (start <= line.size()) {
+      std::size_t tab = line.find('\t', start);
+      if (tab == std::string::npos) {
+        fields.push_back(line.substr(start));
+        break;
+      }
+      fields.push_back(line.substr(start, tab - start));
+      start = tab + 1;
+    }
+    if (fields.size() != 6) {
+      Fail(error, line_number, "expected 6 tab-separated fields");
+      return std::nullopt;
+    }
+    ResultRecord record;
+    auto prefix = netsim::Prefix::Parse(fields[0]);
+    if (!prefix || prefix->length() != 24) {
+      Fail(error, line_number, "bad /24 prefix: " + fields[0]);
+      return std::nullopt;
+    }
+    record.prefix = *prefix;
+    auto classification = ParseClassificationToken(fields[1]);
+    if (!classification) {
+      Fail(error, line_number, "bad classification: " + fields[1]);
+      return std::nullopt;
+    }
+    record.classification = *classification;
+    auto active = ParseInt(fields[2]);
+    auto usable = ParseInt(fields[3]);
+    auto probes = ParseInt(fields[4]);
+    if (!active || !usable || !probes) {
+      Fail(error, line_number, "bad numeric field");
+      return std::nullopt;
+    }
+    record.active_in_snapshot = *active;
+    record.usable_observations = *usable;
+    record.probes_used = *probes;
+    if (fields[5] != "-") {
+      std::istringstream hops(fields[5]);
+      std::string hop;
+      while (std::getline(hops, hop, ',')) {
+        auto address = netsim::Ipv4Address::Parse(hop);
+        if (!address) {
+          Fail(error, line_number, "bad last-hop address: " + hop);
+          return std::nullopt;
+        }
+        record.last_hop_set.push_back(*address);
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  if (!saw_header) {
+    Fail(error, line_number, "empty input");
+    return std::nullopt;
+  }
+  return records;
+}
+
+}  // namespace hobbit::core

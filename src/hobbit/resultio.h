@@ -1,0 +1,49 @@
+// resultio.h — serialising per-/24 measurement results.
+//
+// The companion to cluster/blockio.h: where block lists carry the final
+// aggregation, this format carries the raw classification study (Table 1's
+// underlying data) so it can be archived, diffed across epochs, or
+// post-processed without re-probing.  Tab-separated, one /24 per line:
+//
+//   HobbitResults v1
+//   # prefix <tab> class <tab> active <tab> usable <tab> probes <tab> hops
+//   20.0.1.0/24  non-hierarchical  57  9  83  10.0.0.7,10.0.0.8
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hobbit/types.h"
+
+namespace hobbit::core {
+
+/// Stable short token for a classification (used in the file format).
+std::string_view ClassificationToken(Classification c);
+
+/// Inverse of ClassificationToken.
+std::optional<Classification> ParseClassificationToken(
+    std::string_view token);
+
+/// A deserialised record (observations are not archived — only the
+/// aggregate facts downstream consumers need).
+struct ResultRecord {
+  netsim::Prefix prefix;
+  Classification classification = Classification::kTooFewActive;
+  int active_in_snapshot = 0;
+  int usable_observations = 0;
+  int probes_used = 0;
+  std::vector<netsim::Ipv4Address> last_hop_set;
+};
+
+/// Writes results in the v1 format.
+void WriteResults(std::ostream& os, std::span<const BlockResult> results);
+
+/// Parses a v1 results file; nullopt on any syntax error (line-anchored
+/// message in *error when given).
+std::optional<std::vector<ResultRecord>> ReadResults(
+    std::istream& is, std::string* error = nullptr);
+
+}  // namespace hobbit::core

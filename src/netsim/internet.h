@@ -1,0 +1,232 @@
+// internet.h — generation of a complete synthetic Internet.
+//
+// `BuildInternet` assembles everything the measurement study needs from a
+// single seed: a router graph with per-flow ECMP in the core and
+// per-destination load balancing toward the edge, ground-truth route
+// entries (subnets), an address registry, host liveness, and a packet
+// simulator — the stand-in for the real IPv4 Internet the paper probed
+// from UMD (see DESIGN.md for the substitution rationale).
+//
+// The generated world is *shaped like the paper's findings* so the whole
+// pipeline can be exercised end to end: Korean broadband ASes split /24s
+// into sub-blocks (Tables 2–4), hosting/cloud and cellular giants own huge
+// single-location blocks built from scattered contiguous runs (Table 5,
+// Figs 5, 7, 8), and an ISP with documented reverse-DNS schemes supports
+// the sampling experiment (Fig 12).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/host_model.h"
+#include "netsim/ipv4.h"
+#include "netsim/rdns.h"
+#include "netsim/registry.h"
+#include "netsim/rtt_model.h"
+#include "netsim/simulator.h"
+#include "netsim/topology.h"
+
+namespace hobbit::netsim {
+
+/// How one organization's address space and attachment structure is
+/// generated.
+struct OrgProfile {
+  AsInfo as;
+  SubnetKind kind = SubnetKind::kResidential;
+
+  /// Total /24 blocks owned (scaled by InternetConfig::scale).
+  int total_24s = 100;
+
+  /// Contiguous allocation runs the space is split into.  Blocks larger
+  /// than one run become numerically discontiguous (Figure 7b/8).
+  int runs = 4;
+
+  /// Points of presence.  Each PoP owns a pool of gateway routers, and
+  /// every /24 of the PoP attaches to a subset of that pool.  When zero,
+  /// a PoP count is derived from pop_24s_*.
+  int pops = 0;
+  /// Exact /24 counts per PoP (scaled like total_24s).  When set, overrides
+  /// `pops`/`pop_24s_*` and `total_24s` becomes their sum — used to pin the
+  /// paper's Table 5 block sizes.
+  std::vector<int> pop_sizes;
+  /// Inclusive range of /24s served by one PoP (log-uniform draw) when
+  /// `pops` is zero.
+  int pop_24s_min = 1;
+  int pop_24s_max = 32;
+
+  /// Gateway pool per PoP and attachment-set width per /24.
+  int gateway_pool_min = 2;
+  int gateway_pool_max = 5;
+  /// Probability that a /24 attaches to more than one gateway (i.e. sits
+  /// behind a non-converging per-destination load balancer).
+  double p_multi_gateway = 0.75;
+
+  /// Probability that a whole PoP's gateways never answer TTL-exceeded
+  /// probes (the paper's "Unresponsive last-hop" class).
+  double p_silent_pop = 0.23;
+
+  /// Probability that a /24 is split into differently-routed sub-blocks
+  /// (ground-truth heterogeneity, Table 2 compositions — aligned-disjoint,
+  /// the kind §4.2's criteria confirm).
+  double p_split_24 = 0.0;
+
+  /// Probability that a single-gateway /24 has a smaller customer block
+  /// *carved out* of it (a nested route entry).  Also ground-truth
+  /// heterogeneity, but the inclusive kind: Hobbit files it under
+  /// "different but hierarchical" and §4.2's aligned-disjoint criteria
+  /// correctly do NOT flag it.
+  double p_carve_24 = 0.0;
+
+  /// When true every /24 attaches to the PoP's whole gateway pool (used
+  /// for the Table 5 giants, which are one block by construction).
+  bool full_pool_attachment = false;
+
+  /// Host occupancy: with probability p_sparse a /24 draws occupancy from
+  /// the sparse range (addresses enough to pass the snapshot criterion but
+  /// often not enough to analyse — the paper's "Too few active" class),
+  /// otherwise from the dense range.
+  double p_sparse = 0.74;
+  double sparse_occupancy_min = 0.009;
+  double sparse_occupancy_max = 0.034;
+  double dense_occupancy_min = 0.06;
+  double dense_occupancy_max = 0.55;
+
+  /// Base RTT range in milliseconds (distance of the org from the
+  /// vantage).
+  double base_rtt_min_ms = 15.0;
+  double base_rtt_max_ms = 120.0;
+
+  /// Reverse-DNS scheme.  For kRdnsTwcBase the generator assigns one of
+  /// the TWC patterns per PoP (so naming correlates with topology, which
+  /// is what makes stratified sampling win in Fig 12).
+  std::uint32_t rdns_scheme = kRdnsGenericIsp;
+
+  /// Mid-path diversity: number of parallel distribution routers between
+  /// the AS border and each PoP (per-destination balanced, converging).
+  int dist_width_min = 1;
+  int dist_width_max = 3;
+
+  /// Extra fixed-chain hops inside the AS (varies path length).
+  int chain_min = 0;
+  int chain_max = 3;
+};
+
+/// Global generation parameters.
+struct InternetConfig {
+  std::uint64_t seed = 42;
+  /// Multiplier applied to every profile's total_24s (tests use ~0.05).
+  double scale = 1.0;
+
+  /// Additional vantage points (§6.1: probing from several sources sees
+  /// through source-sensitive per-destination balancers).  Each gets its
+  /// own access chain into the core; build simulators for them with
+  /// Internet::MakeSimulatorAt.
+  int extra_vantages = 0;
+
+  /// Core ECMP stages between the vantage and the AS borders:
+  /// stage widths of per-flow balanced tier-1 routers.
+  std::vector<int> core_stage_widths = {3, 3, 2};
+
+  /// Response model for core/mid routers.
+  double core_respond_probability = 0.97;
+
+  HostModelConfig host;
+  RttModelConfig rtt;
+  SimulatorConfig sim;
+
+  /// The organizations to generate.  Empty means "use the default
+  /// paper-shaped census" (see DefaultProfiles()).
+  std::vector<OrgProfile> profiles;
+};
+
+/// Ground truth about one /24 of the study universe, derivable from the
+/// topology but collected here for convenient validation.
+struct TruthRecord {
+  Prefix prefix;                     ///< the /24
+  bool heterogeneous = false;        ///< covered by >1 route entry
+  std::uint32_t as_index = 0;
+  /// Identifier of the ground-truth homogeneous block this /24 belongs to
+  /// (same id == identical gateway set).  Heterogeneous /24s get ~0.
+  std::uint64_t truth_block = 0;
+};
+
+/// The generated world.
+///
+/// Movable but not copyable: the simulator holds a pointer into
+/// `topology`, which the move operations re-bind.
+struct Internet {
+  Topology topology;
+  Registry registry;
+  std::unique_ptr<Simulator> simulator;
+  RouterId source_router = 0;
+
+  Internet() = default;
+  Internet(const Internet&) = delete;
+  Internet& operator=(const Internet&) = delete;
+  Internet(Internet&& other) noexcept { *this = std::move(other); }
+  Internet& operator=(Internet&& other) noexcept {
+    topology = std::move(other.topology);
+    registry = std::move(other.registry);
+    simulator = std::move(other.simulator);
+    source_router = other.source_router;
+    study_24s = std::move(other.study_24s);
+    truth = std::move(other.truth);
+    extra_vantages = std::move(other.extra_vantages);
+    host_config = other.host_config;
+    rtt_config = other.rtt_config;
+    sim_config = other.sim_config;
+    if (simulator) simulator->RebindTopology(&topology);
+    return *this;
+  }
+
+  /// Every allocated /24, sorted — the candidate universe (before the
+  /// ZMap-derived /26-coverage filter).
+  std::vector<Prefix> study_24s;
+
+  /// Ground truth per /24, parallel to study_24s.
+  std::vector<TruthRecord> truth;
+
+  /// Extra vantage points (router id + source address), one per
+  /// InternetConfig::extra_vantages.
+  struct Vantage {
+    RouterId router = kNoRouter;
+    Ipv4Address address;
+  };
+  std::vector<Vantage> extra_vantages;
+
+  /// Model configurations the world was built with (so additional
+  /// simulators share the same deterministic draws).
+  HostModelConfig host_config;
+  RttModelConfig rtt_config;
+  SimulatorConfig sim_config;
+
+  /// Builds a simulator probing from the given vantage.  The returned
+  /// simulator points into `topology`: build it after the Internet has
+  /// reached its final location and do not move the Internet afterwards.
+  std::unique_ptr<Simulator> MakeSimulatorAt(const Vantage& vantage) const;
+
+  /// Builds a simulator for a later measurement epoch (availability
+  /// re-drawn, churned addresses renumbered) at the primary vantage —
+  /// the substrate for longitudinal re-measurement.
+  std::unique_ptr<Simulator> MakeEpochSimulator(std::uint32_t epoch) const;
+
+  /// Reverse-DNS scheme of an address (kRdnsNone when unallocated).
+  std::uint32_t RdnsSchemeOf(Ipv4Address address) const;
+
+  /// Ground-truth record for a /24; nullptr when not in the universe.
+  const TruthRecord* TruthOf(const Prefix& slash24) const;
+};
+
+/// The default organization census described in DESIGN.md: Table 3's
+/// splitters, Table 5's giants, a TWC-style ISP and generic filler.
+std::vector<OrgProfile> DefaultProfiles();
+
+/// Generates the world.  Deterministic in `config`.
+Internet BuildInternet(const InternetConfig& config);
+
+/// A small config for unit tests: few organizations, ~threehundred /24s.
+InternetConfig TinyConfig(std::uint64_t seed = 7);
+
+}  // namespace hobbit::netsim

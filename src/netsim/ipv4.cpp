@@ -1,0 +1,73 @@
+#include "netsim/ipv4.h"
+
+#include <charconv>
+
+namespace hobbit::netsim {
+namespace {
+
+// Parses a decimal octet at the front of `text`, advancing it.  Returns
+// nullopt unless one to three digits encoding a value <= 255 are present.
+std::optional<std::uint8_t> ConsumeOctet(std::string_view& text) {
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  if (ptr - begin > 3) return std::nullopt;  // reject "0000" style padding
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint8_t>(value);
+}
+
+bool ConsumeChar(std::string_view& text, char expected) {
+  if (text.empty() || text.front() != expected) return false;
+  text.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0 && !ConsumeChar(text, '.')) return std::nullopt;
+    auto octet = ConsumeOctet(text);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(Octet(i));
+  }
+  return out;
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto base = Ipv4Address::Parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  std::string_view length_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [ptr, ec] = std::from_chars(
+      length_text.data(), length_text.data() + length_text.size(), length);
+  if (ec != std::errc{} || ptr != length_text.data() + length_text.size() ||
+      length > 32) {
+    return std::nullopt;
+  }
+  Prefix canonical = Prefix::Of(*base, static_cast<int>(length));
+  if (canonical.base() != *base) return std::nullopt;  // host bits set
+  return canonical;
+}
+
+std::string Prefix::ToString() const {
+  return base_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace hobbit::netsim

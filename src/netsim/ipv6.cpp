@@ -1,0 +1,168 @@
+#include "netsim/ipv6.h"
+
+#include <array>
+#include <charconv>
+
+#include "netsim/ipv4.h"
+
+namespace hobbit::netsim {
+namespace {
+
+/// Parses one hex group (1-4 digits) at the front of `text`.
+std::optional<std::uint16_t> ConsumeGroup(std::string_view& text) {
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+  if (ec != std::errc{} || ptr == begin || ptr - begin > 4 ||
+      value > 0xFFFF) {
+    return std::nullopt;
+  }
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint16_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv6Address> Ipv6Address::Parse(std::string_view text) {
+  // Collect groups before and after a single "::".
+  std::array<std::uint16_t, 8> head{}, tail{};
+  int head_count = 0, tail_count = 0;
+  bool seen_gap = false;
+
+  if (text.empty()) return std::nullopt;
+  if (text.substr(0, 2) == "::") {
+    seen_gap = true;
+    text.remove_prefix(2);
+  }
+
+  bool expect_group = !text.empty();
+  while (!text.empty()) {
+    // Embedded IPv4 tail: the remaining text contains a dot.
+    if (text.find('.') != std::string_view::npos &&
+        text.find(':') == std::string_view::npos) {
+      auto v4 = Ipv4Address::Parse(text);
+      if (!v4) return std::nullopt;
+      auto push = [&](std::uint16_t group) {
+        if (seen_gap) {
+          if (tail_count >= 8) return false;
+          tail[tail_count++] = group;
+        } else {
+          if (head_count >= 8) return false;
+          head[head_count++] = group;
+        }
+        return true;
+      };
+      if (!push(static_cast<std::uint16_t>(v4->value() >> 16)) ||
+          !push(static_cast<std::uint16_t>(v4->value() & 0xFFFF))) {
+        return std::nullopt;
+      }
+      text = {};
+      expect_group = false;
+      break;
+    }
+    auto group = ConsumeGroup(text);
+    if (!group) return std::nullopt;
+    if (seen_gap) {
+      if (tail_count >= 8) return std::nullopt;
+      tail[tail_count++] = *group;
+    } else {
+      if (head_count >= 8) return std::nullopt;
+      head[head_count++] = *group;
+    }
+    expect_group = false;
+    if (text.empty()) break;
+    if (text.substr(0, 2) == "::") {
+      if (seen_gap) return std::nullopt;  // at most one gap
+      seen_gap = true;
+      text.remove_prefix(2);
+      continue;  // gap may legally end the address
+    }
+    if (text.front() == ':') {
+      text.remove_prefix(1);
+      expect_group = true;
+      continue;
+    }
+    return std::nullopt;  // stray character
+  }
+  if (expect_group) return std::nullopt;  // dangling single ':'
+
+  const int total = head_count + tail_count;
+  if (seen_gap ? total >= 8 : total != 8) return std::nullopt;
+
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < head_count; ++i) groups[i] = head[i];
+  for (int i = 0; i < tail_count; ++i) {
+    groups[8 - tail_count + i] = tail[i];
+  }
+  std::uint64_t high = 0, low = 0;
+  for (int i = 0; i < 4; ++i) high = (high << 16) | groups[i];
+  for (int i = 4; i < 8; ++i) low = (low << 16) | groups[i];
+  return Ipv6Address(high, low);
+}
+
+std::string Ipv6Address::ToString() const {
+  std::array<std::uint16_t, 8> groups;
+  for (int i = 0; i < 8; ++i) groups[static_cast<std::size_t>(i)] = Group(i);
+
+  // RFC 5952: find the longest run of zero groups (length >= 2),
+  // leftmost wins ties.
+  int best_start = -1, best_length = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_length) {
+      best_start = i;
+      best_length = j - i;
+    }
+    i = j;
+  }
+  if (best_length < 2) best_start = -1;
+
+  std::string out;
+  auto append_hex = [&out](std::uint16_t value) {
+    char buffer[5];
+    auto [ptr, ec] = std::to_chars(buffer, buffer + 5, value, 16);
+    (void)ec;
+    out.append(buffer, ptr);
+  };
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_length;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out.push_back(':');
+    append_hex(groups[static_cast<std::size_t>(i)]);
+    ++i;
+  }
+  return out;
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::Parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto base = Ipv6Address::Parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  std::string_view length_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [ptr, ec] = std::from_chars(
+      length_text.data(), length_text.data() + length_text.size(), length);
+  if (ec != std::errc{} || ptr != length_text.data() + length_text.size() ||
+      length > 128) {
+    return std::nullopt;
+  }
+  Ipv6Prefix canonical = Ipv6Prefix::Of(*base, static_cast<int>(length));
+  if (canonical.base() != *base) return std::nullopt;
+  return canonical;
+}
+
+std::string Ipv6Prefix::ToString() const {
+  return base_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace hobbit::netsim

@@ -1,0 +1,143 @@
+// ipv6.h — IPv6 addresses and prefixes.
+//
+// The paper's stated future work is applying Hobbit to IPv6 networks
+// ("As future work, we intend to apply Hobbit to IPv6").  The hierarchy
+// machinery only needs totally ordered addresses with prefix containment
+// and longest-common-prefix arithmetic; these types provide exactly that
+// for 128-bit addresses, with RFC 4291 parsing and RFC 5952 canonical
+// formatting, so a /64-granularity Hobbit can be built on top.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hobbit::netsim {
+
+/// A 128-bit IPv6 address as two host-order 64-bit halves.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  constexpr Ipv6Address(std::uint64_t high, std::uint64_t low)
+      : high_(high), low_(low) {}
+
+  /// Parses RFC 4291 text: full form, "::" compression, and the embedded
+  /// IPv4 dotted tail ("::ffff:192.0.2.1").  Zone ids are not supported.
+  static std::optional<Ipv6Address> Parse(std::string_view text);
+
+  constexpr std::uint64_t high() const { return high_; }
+  constexpr std::uint64_t low() const { return low_; }
+
+  /// The i-th 16-bit group, 0 being the most significant.
+  constexpr std::uint16_t Group(int i) const {
+    std::uint64_t half = i < 4 ? high_ : low_;
+    int shift = 48 - 16 * (i & 3);
+    return static_cast<std::uint16_t>(half >> shift);
+  }
+
+  /// RFC 5952 canonical text: lowercase hex, longest zero run (of length
+  /// >= 2) compressed to "::", leftmost run on ties.
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Ipv6Address, Ipv6Address) = default;
+
+ private:
+  std::uint64_t high_ = 0;
+  std::uint64_t low_ = 0;
+};
+
+/// An IPv6 CIDR prefix: base address + length in [0, 128].
+/// Canonicalised like the IPv4 Prefix; same ordering contract.
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() = default;
+
+  static constexpr Ipv6Prefix Of(Ipv6Address base, int length) {
+    auto [mask_high, mask_low] = MaskFor(length);
+    return Ipv6Prefix(
+        Ipv6Address(base.high() & mask_high, base.low() & mask_low),
+        length);
+  }
+
+  /// The enclosing /64 — the natural IPv6 analogue of the /24 unit.
+  static constexpr Ipv6Prefix Slash64Of(Ipv6Address address) {
+    return Of(address, 64);
+  }
+
+  /// Parses "addr/len"; rejects host bits set below the mask.
+  static std::optional<Ipv6Prefix> Parse(std::string_view text);
+
+  constexpr Ipv6Address base() const { return base_; }
+  constexpr int length() const { return length_; }
+
+  constexpr Ipv6Address First() const { return base_; }
+  constexpr Ipv6Address Last() const {
+    auto [mask_high, mask_low] = MaskFor(length_);
+    return Ipv6Address(base_.high() | ~mask_high, base_.low() | ~mask_low);
+  }
+
+  constexpr bool Contains(Ipv6Address address) const {
+    auto [mask_high, mask_low] = MaskFor(length_);
+    return (address.high() & mask_high) == base_.high() &&
+           (address.low() & mask_low) == base_.low();
+  }
+
+  constexpr bool Contains(const Ipv6Prefix& other) const {
+    return other.length_ >= length_ && Contains(other.base_);
+  }
+
+  constexpr bool DisjointFrom(const Ipv6Prefix& other) const {
+    return !Contains(other) && !other.Contains(*this);
+  }
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Ipv6Prefix&,
+                                    const Ipv6Prefix&) = default;
+
+ private:
+  constexpr Ipv6Prefix(Ipv6Address base, int length)
+      : base_(base), length_(length) {}
+
+  /// Mask halves for a prefix length.
+  struct Mask {
+    std::uint64_t high;
+    std::uint64_t low;
+  };
+  static constexpr Mask MaskFor(int length) {
+    if (length <= 0) return {0, 0};
+    if (length >= 128) return {~0ULL, ~0ULL};
+    if (length <= 64) {
+      return {length == 64 ? ~0ULL : ~0ULL << (64 - length), 0};
+    }
+    return {~0ULL, ~0ULL << (128 - length)};
+  }
+
+  Ipv6Address base_;
+  int length_ = 0;
+};
+
+/// Bits of common prefix between two IPv6 addresses, in [0, 128].
+constexpr int LongestCommonPrefixLength(Ipv6Address a, Ipv6Address b) {
+  auto leading = [](std::uint64_t x) {
+    int n = 0;
+    for (std::uint64_t probe = 0x8000000000000000ULL; probe != 0 &&
+                                                      (x & probe) == 0;
+         probe >>= 1) {
+      ++n;
+    }
+    return n;
+  };
+  if (a.high() != b.high()) return leading(a.high() ^ b.high());
+  if (a.low() != b.low()) return 64 + leading(a.low() ^ b.low());
+  return 128;
+}
+
+/// Narrowest prefix covering both addresses.
+constexpr Ipv6Prefix SpanningPrefix(Ipv6Address a, Ipv6Address b) {
+  return Ipv6Prefix::Of(a, LongestCommonPrefixLength(a, b));
+}
+
+}  // namespace hobbit::netsim

@@ -1,0 +1,48 @@
+// outage.h — injecting outages into the synthetic Internet.
+//
+// The paper's first motivation is Trinocular, which "tracks outages for
+// /24 blocks" and "may fail to detect outages if a few addresses within a
+// /24 block have an outage while others are normally up."  An
+// OutageOverlay silences the hosts of chosen prefixes; the simulator
+// consults it before answering echo probes, so outage-detection
+// experiments can inject whole-block and partial-block failures with
+// exact ground truth.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "netsim/ipv4.h"
+
+namespace hobbit::netsim {
+
+/// A set of downed prefixes.  Cheap to query; rebuild to change.
+class OutageOverlay {
+ public:
+  OutageOverlay() = default;
+
+  /// Marks every host under `prefix` as down.
+  void Fail(const Prefix& prefix) {
+    down_.push_back(prefix);
+    std::sort(down_.begin(), down_.end());
+  }
+
+  void Clear() { down_.clear(); }
+
+  /// True when `address` lies in any downed prefix.
+  bool IsDown(Ipv4Address address) const {
+    // Downed prefixes are few per experiment; scan is fine and keeps the
+    // structure trivially correct even with nested prefixes.
+    for (const Prefix& prefix : down_) {
+      if (prefix.Contains(address)) return true;
+    }
+    return false;
+  }
+
+  const std::vector<Prefix>& downed() const { return down_; }
+
+ private:
+  std::vector<Prefix> down_;
+};
+
+}  // namespace hobbit::netsim

@@ -1,0 +1,59 @@
+// rdns.h — reverse-DNS name synthesis.
+//
+// Three of the paper's experiments read reverse DNS: classifying the top-15
+// blocks (§5.2: "ec2", "wsip", datacenter region keywords), extracting
+// cellular naming rules (§7.2: tele2's "m[0-9].+\.cust\.tele2" and OCN's
+// "omed"), and the stratified-sampling experiment over Time-Warner-Cable's
+// documented naming schemes (Fig 12).  Each subnet carries an
+// `rdns_scheme` id; this module renders concrete names and exposes the
+// underlying pattern for analysis code that would, in the real world,
+// recover it by generalising observed names.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netsim/ipv4.h"
+
+namespace hobbit::netsim {
+
+/// Naming-scheme families.  Values above kTwcBase encode one of the many
+/// Time-Warner-style patterns: scheme = kTwcBase + pattern index.
+enum RdnsScheme : std::uint32_t {
+  kRdnsNone = 0,        ///< no PTR record
+  kRdnsGenericIsp,      ///< "host-a-b-c-d.example-isp.net"
+  kRdnsTele2Cellular,   ///< "m123-a-b-c-d.cust.tele2.net"
+  kRdnsOcnCellular,     ///< "p-a-b-c-d.omed01.ocn.ne.jp"
+  kRdnsVerizonCellular, ///< "a-b-c-d.mycingular-style.vzwnet.com"
+  kRdnsAmazonEc2Tokyo,  ///< "ec2-a-b-c-d.ap-northeast-1.compute.amazonaws.com"
+  kRdnsAmazonEc2UsWest, ///< "ec2-a-b-c-d.us-west-1.compute.amazonaws.com"
+  kRdnsAmazonEc2Dublin, ///< "ec2-a-b-c-d.eu-west-1.compute.amazonaws.com"
+  kRdnsCoxBusiness,     ///< "wsip-a-b-c-d.ph.ph.cox.net"
+  kRdnsCoxResidential,  ///< "ip-a-b-c-d.ph.ph.cox.net"
+  kRdnsGenericHosting,  ///< "server-a-b-c-d.fasthost.example"
+  kRdnsRouterInfra,     ///< router interface names (never an end host)
+  kRdnsBitcoinHost,     ///< residential host known to run a Bitcoin node
+  kRdnsTwcBase = 1000,  ///< + i: i-th Time-Warner naming scheme
+};
+
+/// Number of distinct Time-Warner-style patterns generated (region ×
+/// service-class grid, mirroring the published rr.com scheme list).
+inline constexpr std::uint32_t kTwcPatternCount = 36;
+
+/// Renders the PTR name for `address` under `scheme`.
+/// Returns nullopt when the scheme is kRdnsNone.
+std::optional<std::string> RdnsName(std::uint32_t scheme, Ipv4Address address);
+
+/// The generalised pattern of a scheme — what a measurement analyst would
+/// write after collapsing the variable fields of observed names (regex-ish,
+/// as in the paper's "^m[0-9].+\.cust\.tele2").  Unique per scheme.
+std::optional<std::string> RdnsPattern(std::uint32_t scheme);
+
+/// True when `name` matches the tele2 cellular rule the paper extracts.
+bool MatchesTele2CellularRule(const std::string& name);
+
+/// True when `name` matches the OCN "omed" keyword rule.
+bool MatchesOcnCellularRule(const std::string& name);
+
+}  // namespace hobbit::netsim

@@ -1,0 +1,83 @@
+#include "netsim/registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hobbit::netsim {
+
+std::string ToString(OrgType type) {
+  switch (type) {
+    case OrgType::kBroadbandIsp: return "Broadband ISP";
+    case OrgType::kHosting: return "Hosting";
+    case OrgType::kHostingCloud: return "Hosting/Cloud";
+    case OrgType::kMobileIsp: return "Mobile ISP";
+    case OrgType::kFixedIsp: return "Fixed ISP";
+  }
+  return "Unknown";
+}
+
+std::uint32_t Registry::AddAs(AsInfo info) {
+  for (std::size_t i = 0; i < ases_.size(); ++i) {
+    if (ases_[i].asn == info.asn) return static_cast<std::uint32_t>(i);
+  }
+  ases_.push_back(std::move(info));
+  return static_cast<std::uint32_t>(ases_.size() - 1);
+}
+
+void Registry::AddAllocation(const Prefix& prefix, std::uint32_t as_index) {
+  assert(!sealed_);
+  allocations_.push_back({prefix, as_index});
+}
+
+void Registry::AddWhois(WhoisRecord record) {
+  assert(!sealed_);
+  whois_.push_back(std::move(record));
+}
+
+void Registry::Seal() {
+  std::sort(allocations_.begin(), allocations_.end(),
+            [](const Allocation& a, const Allocation& b) {
+              return a.prefix < b.prefix;
+            });
+  allocation_lengths_ = 0;
+  for (const Allocation& a : allocations_) {
+    allocation_lengths_ |= std::uint64_t{1} << a.prefix.length();
+  }
+  std::sort(whois_.begin(), whois_.end(),
+            [](const WhoisRecord& a, const WhoisRecord& b) {
+              return a.prefix < b.prefix;
+            });
+  sealed_ = true;
+}
+
+std::optional<std::uint32_t> Registry::AsOf(Ipv4Address address) const {
+  assert(sealed_);
+  // Allocations may nest (an AS-level block containing customer blocks):
+  // longest-prefix match via per-length binary search, most-specific
+  // first.
+  for (int length = 32; length >= 0; --length) {
+    if ((allocation_lengths_ & (std::uint64_t{1} << length)) == 0) continue;
+    const Prefix probe = Prefix::Of(address, length);
+    auto pos = std::lower_bound(
+        allocations_.begin(), allocations_.end(), probe,
+        [](const Allocation& a, const Prefix& p) { return a.prefix < p; });
+    if (pos != allocations_.end() && pos->prefix == probe) {
+      return pos->as_index;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<WhoisRecord> Registry::WhoisLookup(const Prefix& query) const {
+  assert(sealed_);
+  std::vector<WhoisRecord> out;
+  auto pos = std::lower_bound(
+      whois_.begin(), whois_.end(), query.base(),
+      [](const WhoisRecord& r, Ipv4Address a) { return r.prefix.base() < a; });
+  for (; pos != whois_.end() && pos->prefix.base() <= query.Last(); ++pos) {
+    if (query.Contains(pos->prefix)) out.push_back(*pos);
+  }
+  return out;
+}
+
+}  // namespace hobbit::netsim

@@ -1,0 +1,93 @@
+// registry.h — who owns which addresses.
+//
+// Stand-in for the external databases the paper joins against: the Maxmind
+// GeoLite AS/organization/geolocation database (Tables 3 and 5) and the
+// KRNIC WHOIS registry with its sub-/24 customer assignments (Table 4).
+// The generator fills it with ground truth as it allocates address space,
+// so lookups are exact rather than probabilistic — the join logic in the
+// analysis layer is what is being reproduced, not database fuzziness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/ipv4.h"
+
+namespace hobbit::netsim {
+
+/// Organization categories as the paper's tables print them.
+enum class OrgType : std::uint8_t {
+  kBroadbandIsp,   ///< fixed + mobile broadband
+  kHosting,
+  kHostingCloud,
+  kMobileIsp,
+  kFixedIsp,
+};
+
+std::string ToString(OrgType type);
+
+/// One autonomous system: the unit of Tables 3 and 5.
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string organization;
+  std::string country;
+  OrgType type = OrgType::kBroadbandIsp;
+};
+
+/// A WHOIS assignment record, KRNIC style (Table 4): one allocated block
+/// with customer details.  Split /24s produce several records under one
+/// /24.
+struct WhoisRecord {
+  Prefix prefix;
+  std::string organization_name;
+  std::string network_type;     // e.g. "CUSTOMER"
+  std::string address;          // street-level assignment address
+  std::string zip_code;
+  std::string registration_date;  // YYYYMMDD
+};
+
+/// Registry of ASes, address-to-AS mapping and WHOIS records.
+class Registry {
+ public:
+  /// Registers an AS; returns its dense index (the Subnet::as_index key).
+  /// Calling again with an already-registered ASN returns the existing
+  /// index, so multiple generation profiles can share one AS.
+  std::uint32_t AddAs(AsInfo info);
+
+  /// Records that `prefix` belongs to AS `as_index` (for the geo join).
+  void AddAllocation(const Prefix& prefix, std::uint32_t as_index);
+
+  /// Adds a WHOIS assignment record.
+  void AddWhois(WhoisRecord record);
+
+  /// Must be called after all allocations are added, before lookups.
+  void Seal();
+
+  const AsInfo& as_info(std::uint32_t as_index) const {
+    return ases_[as_index];
+  }
+  std::size_t as_count() const { return ases_.size(); }
+
+  /// AS index owning `address`, or nullopt for unallocated space.
+  std::optional<std::uint32_t> AsOf(Ipv4Address address) const;
+
+  /// All WHOIS records whose prefix lies inside `query` (most-specific
+  /// assignments for a /24, Table 4 style), sorted by prefix.
+  std::vector<WhoisRecord> WhoisLookup(const Prefix& query) const;
+
+ private:
+  struct Allocation {
+    Prefix prefix;
+    std::uint32_t as_index;
+  };
+
+  std::vector<AsInfo> ases_;
+  std::vector<Allocation> allocations_;  // sorted by prefix after Seal
+  std::uint64_t allocation_lengths_ = 0;  // bit l set when a /l exists
+  std::vector<WhoisRecord> whois_;       // sorted by prefix after Seal
+  bool sealed_ = false;
+};
+
+}  // namespace hobbit::netsim

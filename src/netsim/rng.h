@@ -1,0 +1,90 @@
+// rng.h — deterministic pseudo-randomness for the simulator.
+//
+// Everything in the synthetic Internet must be reproducible from a single
+// seed: topology generation, host liveness, load-balancer hashing and RTT
+// jitter.  Two facilities live here:
+//
+//  * `Rng` — a SplitMix64 stream generator used for *generation-time*
+//    decisions (it is consumed sequentially).
+//  * `StableHash*` — stateless mixing functions used for *forwarding-time*
+//    decisions, where the outcome must depend only on the inputs (e.g. a
+//    per-destination load balancer must send the same destination the same
+//    way every time, which a sequential stream cannot provide).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace hobbit::netsim {
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer.  Good avalanche
+/// behaviour; the basis of both the stream RNG and the stable hashes.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless stable hash of a sequence of 64-bit words.  Used for hashing
+/// flow tuples in load balancers and for deciding per-entity properties
+/// (responsiveness draws, OS choice) without consuming stream state.
+constexpr std::uint64_t StableHash(std::initializer_list<std::uint64_t> parts) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (std::uint64_t p : parts) h = Mix64(h ^ p);
+  return h;
+}
+
+/// Maps a stable hash to a uniform double in [0, 1).
+constexpr double HashToUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// SplitMix64 sequential generator.  Satisfies the essentials of
+/// UniformRandomBitGenerator so it can also feed <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t operator()() { return Next(); }
+
+  constexpr std::uint64_t Next() { return Mix64(state_++); }
+
+  /// Uniform double in [0, 1).
+  constexpr double NextUnit() { return HashToUnit(Next()); }
+
+  /// Uniform integer in [0, bound).  Precondition: bound > 0.
+  constexpr std::uint64_t NextBelow(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used here (all far below 2^32).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  constexpr std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw.
+  constexpr bool NextBool(double probability) {
+    return NextUnit() < probability;
+  }
+
+  /// Derives an independent child generator; used to give each /24 or
+  /// router its own stream so generation order does not matter.
+  constexpr Rng Fork(std::uint64_t salt) const {
+    return Rng(StableHash({state_, salt, 0xf0e1d2c3b4a59687ULL}));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hobbit::netsim

@@ -1,0 +1,90 @@
+// rtt_model.h — round-trip-time synthesis.
+//
+// RTTs matter for one experiment only, but it is a distinctive one:
+// Figure 6 identifies cellular blocks by the extra delay of the *first*
+// probe in a train (radio wake-up), following Padmanabhan et al.'s
+// "Timeouts: Beware surprisingly high delay" observation.  The model is
+// base propagation (per subnet) + per-hop serialisation + lognormal-ish
+// jitter + a first-probe surcharge for cellular subnets.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "netsim/ipv4.h"
+#include "netsim/rng.h"
+#include "netsim/topology.h"
+
+namespace hobbit::netsim {
+
+struct RttModelConfig {
+  std::uint64_t seed = 1;
+  double per_hop_ms = 0.35;           ///< serialisation/queueing per hop
+  double jitter_scale_ms = 2.0;       ///< scale of the heavy-ish tail
+  /// Cellular radio wake-up: additional delay on the first probe of a
+  /// train when the radio is idle — shifted-exponential so that, with the
+  /// defaults, ~50 % of cellular addresses show > 0.5 s extra first-RTT
+  /// and ~10 % show >= 1 s (paper Fig 6's shape).
+  double cellular_wakeup_min_ms = 300.0;
+  double cellular_wakeup_mean_extra_ms = 350.0;
+  double cellular_wakeup_cap_ms = 3000.0;
+  /// Fraction of cellular hosts whose radio happens to be already active
+  /// (no surcharge) when the train starts.
+  double cellular_radio_active_probability = 0.25;
+};
+
+/// Deterministic RTT oracle.  `train_sequence` is the index of the probe
+/// within a back-to-back train to the same address (0 = first).
+class RttModel {
+ public:
+  explicit RttModel(RttModelConfig config) : config_(config) {}
+
+  double EchoRtt(Ipv4Address dst, const Subnet& subnet, int hop_count,
+                 std::uint32_t train_sequence, std::uint32_t train_id) const {
+    double rtt = subnet.base_rtt_ms + config_.per_hop_ms * hop_count;
+    rtt += Jitter(dst, train_sequence, train_id);
+    if (subnet.kind == SubnetKind::kCellular && train_sequence == 0 &&
+        !RadioActive(dst, train_id)) {
+      rtt += Wakeup(dst, train_id);
+    }
+    return rtt;
+  }
+
+  /// RTT of an ICMP time-exceeded reply from a router `hop_count` hops out.
+  double RouterRtt(Ipv4Address router, int hop_count,
+                   std::uint32_t probe_serial) const {
+    return 2.0 + config_.per_hop_ms * hop_count +
+           Jitter(router, probe_serial, 0);
+  }
+
+ private:
+  double Unit(Ipv4Address a, std::uint64_t s1, std::uint64_t s2,
+              std::uint64_t salt) const {
+    return HashToUnit(StableHash({config_.seed, a.value(), s1, s2, salt}));
+  }
+
+  // Exponential-tailed jitter: -scale * ln(1-u).
+  double Jitter(Ipv4Address a, std::uint32_t seq, std::uint32_t train) const {
+    double u = Unit(a, seq, train, 0x3177E8ULL);
+    return -config_.jitter_scale_ms * std::log1p(-u * 0.999);
+  }
+
+  bool RadioActive(Ipv4Address a, std::uint32_t train) const {
+    return Unit(a, train, 0, 0x8AD10ULL) <
+           config_.cellular_radio_active_probability;
+  }
+
+  double Wakeup(Ipv4Address a, std::uint32_t train) const {
+    double u = Unit(a, train, 0, 0x3A4EULL);
+    double wakeup = config_.cellular_wakeup_min_ms -
+                    config_.cellular_wakeup_mean_extra_ms *
+                        std::log1p(-u * 0.9999);
+    return wakeup < config_.cellular_wakeup_cap_ms
+               ? wakeup
+               : config_.cellular_wakeup_cap_ms;
+  }
+
+  RttModelConfig config_;
+};
+
+}  // namespace hobbit::netsim

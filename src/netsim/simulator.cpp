@@ -1,0 +1,151 @@
+#include "netsim/simulator.h"
+
+#include <cassert>
+
+namespace hobbit::netsim {
+
+Simulator::Simulator(const Topology* topology, RouterId source_router,
+                     Ipv4Address source_address, HostModel host_model,
+                     RttModel rtt_model, SimulatorConfig config)
+    : topology_(topology),
+      source_router_(source_router),
+      source_address_(source_address),
+      host_model_(std::move(host_model)),
+      rtt_model_(std::move(rtt_model)),
+      config_(config) {
+  assert(topology_ != nullptr && topology_->sealed());
+}
+
+RouterId Simulator::PickNextHop(RouterId router, const EcmpGroup& group,
+                                Ipv4Address dst, std::uint16_t flow_id,
+                                std::uint64_t serial) const {
+  assert(!group.next_hops.empty());
+  if (group.next_hops.size() == 1) return group.next_hops.front();
+  std::uint64_t h = 0;
+  // Each router salts the hash with its own id so cascaded balancers make
+  // independent choices (this is what multiplies cardinality, §3.1).
+  switch (group.policy) {
+    case LbPolicy::kPerFlow:
+      h = StableHash({config_.seed, router, dst.value(),
+                      source_address_.value(), flow_id});
+      break;
+    case LbPolicy::kPerDestination:
+      h = StableHash({config_.seed, router, dst.value()});
+      break;
+    case LbPolicy::kPerDestinationCyclic:
+      // Randomized per 8-address block, cycling within it: adjacent
+      // destinations almost always map to different next hops.
+      h = StableHash({config_.seed, router, dst.value() >> 3}) +
+          dst.value();
+      break;
+    case LbPolicy::kPerDestAndSrc:
+      h = StableHash({config_.seed, router, dst.value(),
+                      source_address_.value()});
+      break;
+    case LbPolicy::kPerPacket:
+      h = StableHash({config_.seed, router, dst.value(), serial,
+                      0xBEEFULL});
+      break;
+  }
+  return group.next_hops[h % group.next_hops.size()];
+}
+
+std::vector<RouterId> Simulator::ResolvePath(Ipv4Address destination,
+                                             std::uint16_t flow_id,
+                                             std::uint64_t serial) const {
+  SubnetId subnet_id = topology_->FindSubnet(destination);
+  if (subnet_id == kNoSubnet) return {};
+  const auto& gateways = topology_->subnet(subnet_id).gateways;
+
+  std::vector<RouterId> path;
+  RouterId current = source_router_;
+  for (int hop = 0; hop < config_.max_hops; ++hop) {
+    path.push_back(current);
+    // Direct attachment ends the walk: `current` is the last-hop router.
+    for (RouterId gw : gateways) {
+      if (gw == current) return path;
+    }
+    const Router& router = topology_->router(current);
+    const EcmpGroup* group = router.fib.Lookup(destination);
+    if (group == nullptr || group->next_hops.empty()) return {};
+    current = PickNextHop(current, *group, destination, flow_id, serial);
+  }
+  return {};  // forwarding loop or absurdly long path
+}
+
+RouterId Simulator::GroundTruthLastHop(Ipv4Address destination,
+                                       std::uint16_t flow_id) const {
+  std::vector<RouterId> path = ResolvePath(destination, flow_id, 0);
+  return path.empty() ? kNoRouter : path.back();
+}
+
+bool Simulator::RouterResponds(RouterId router,
+                               Ipv4Address destination) const {
+  const ResponseModel& model = topology_->router(router).response;
+  if (model.respond_probability >= 1.0) return true;
+  if (model.respond_probability <= 0.0) return false;
+  // Rate limiting is bursty, not i.i.d. per packet: a limited router
+  // stays silent for the whole episode of probing one destination.
+  // Model it as a deterministic draw per (router, destination).
+  double u = HashToUnit(
+      StableHash({config_.seed, router, destination.value(), 0x4E590ULL}));
+  return u < model.respond_probability;
+}
+
+int Simulator::ReverseHops(Ipv4Address destination, int forward_hops) const {
+  double u = HashToUnit(StableHash(
+      {config_.seed, destination.value(), 0x4E7E45EULL}));
+  if (u >= config_.p_reverse_asymmetry) return forward_hops;
+  // Deterministic per-destination extra length in [1, max].
+  int extra = 1 + static_cast<int>(
+                      HashToUnit(StableHash({config_.seed,
+                                             destination.value(),
+                                             0xA57AULL})) *
+                      config_.max_reverse_extra_hops);
+  return forward_hops + extra;
+}
+
+ProbeReply Simulator::Send(const ProbeSpec& probe) const {
+  probes_sent_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<RouterId> path =
+      ResolvePath(probe.destination, probe.flow_id, probe.serial);
+  if (path.empty()) return {};  // unroutable: timeout
+
+  // The destination host sits one hop beyond the last router, so the
+  // probe reaches the host when ttl > path length.
+  const int host_hop = static_cast<int>(path.size()) + 1;
+  if (probe.ttl < host_hop) {
+    // TTL expires at router path[ttl - 1] (hop `ttl`).
+    RouterId expiring = path[static_cast<std::size_t>(probe.ttl) - 1];
+    if (!RouterResponds(expiring, probe.destination)) return {};
+    ProbeReply reply;
+    reply.kind = ReplyKind::kTtlExceeded;
+    reply.responder = topology_->router(expiring).reply_address;
+    reply.hop = probe.ttl;
+    reply.rtt_ms = rtt_model_.RouterRtt(reply.responder, probe.ttl,
+                                        static_cast<std::uint32_t>(probe.serial));
+    // Reply TTL of time-exceeded messages is not used by the tools here.
+    reply.reply_ttl = 255 - probe.ttl;
+    return reply;
+  }
+
+  SubnetId subnet_id = topology_->FindSubnet(probe.destination);
+  if (subnet_id == kNoSubnet) return {};
+  const Subnet& subnet = topology_->subnet(subnet_id);
+  if (!host_model_.ActiveAtProbeTime(probe.destination, subnet)) return {};
+  if (outage_ != nullptr && outage_->IsDown(probe.destination)) return {};
+
+  ProbeReply reply;
+  reply.kind = ReplyKind::kEchoReply;
+  reply.responder = probe.destination;
+  reply.hop = host_hop;
+  const int reverse_hops = ReverseHops(probe.destination, host_hop - 1);
+  reply.reply_ttl =
+      host_model_.DefaultTtl(probe.destination) - reverse_hops;
+  if (reply.reply_ttl < 1) reply.reply_ttl = 1;
+  reply.rtt_ms = rtt_model_.EchoRtt(probe.destination, subnet, host_hop,
+                                    probe.train_sequence, probe.train_id);
+  return reply;
+}
+
+}  // namespace hobbit::netsim

@@ -1,0 +1,88 @@
+#include "netsim/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hobbit::netsim {
+
+void Fib::Add(const Prefix& prefix, EcmpGroup group) {
+  FibEntry entry{prefix, std::move(group)};
+  auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const FibEntry& a, const FibEntry& b) { return a.prefix < b.prefix; });
+  if (pos != entries_.end() && pos->prefix == entry.prefix) {
+    *pos = std::move(entry);
+  } else {
+    entries_.insert(pos, std::move(entry));
+  }
+  lengths_present_ |= std::uint64_t{1} << prefix.length();
+}
+
+void Fib::AddSingle(const Prefix& prefix, RouterId next_hop) {
+  Add(prefix, EcmpGroup{{next_hop}, LbPolicy::kPerFlow});
+}
+
+const FibEntry* Fib::LookupEntry(Ipv4Address dst) const {
+  // Longest prefix first: for every length present in the table, binary
+  // search for the exact canonical prefix of `dst` at that length.
+  for (int length = 32; length >= 0; --length) {
+    if ((lengths_present_ & (std::uint64_t{1} << length)) == 0) continue;
+    const Prefix probe = Prefix::Of(dst, length);
+    auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), probe,
+        [](const FibEntry& e, const Prefix& p) { return e.prefix < p; });
+    if (pos != entries_.end() && pos->prefix == probe) return &*pos;
+  }
+  return nullptr;
+}
+
+const EcmpGroup* Fib::Lookup(Ipv4Address dst) const {
+  const FibEntry* entry = LookupEntry(dst);
+  return entry == nullptr ? nullptr : &entry->group;
+}
+
+RouterId Topology::AddRouter(Router router) {
+  routers_.push_back(std::move(router));
+  return static_cast<RouterId>(routers_.size() - 1);
+}
+
+SubnetId Topology::AddSubnet(Subnet subnet) {
+  assert(!sealed_);
+  subnets_.push_back(std::move(subnet));
+  return static_cast<SubnetId>(subnets_.size() - 1);
+}
+
+void Topology::Seal() {
+  subnet_index_.resize(subnets_.size());
+  for (std::size_t i = 0; i < subnets_.size(); ++i) {
+    subnet_index_[i] = static_cast<SubnetId>(i);
+  }
+  std::sort(subnet_index_.begin(), subnet_index_.end(),
+            [this](SubnetId a, SubnetId b) {
+              return subnets_[a].prefix < subnets_[b].prefix;
+            });
+  for (std::size_t i = 1; i < subnet_index_.size(); ++i) {
+    const Prefix& prev = subnets_[subnet_index_[i - 1]].prefix;
+    const Prefix& cur = subnets_[subnet_index_[i]].prefix;
+    if (!prev.DisjointFrom(cur)) {
+      throw std::logic_error("Topology: overlapping subnets " +
+                             prev.ToString() + " and " + cur.ToString());
+    }
+  }
+  sealed_ = true;
+}
+
+SubnetId Topology::FindSubnet(Ipv4Address address) const {
+  assert(sealed_);
+  // Find the last subnet whose base is <= address; disjointness guarantees
+  // it is the only candidate.
+  auto pos = std::upper_bound(
+      subnet_index_.begin(), subnet_index_.end(), address,
+      [this](Ipv4Address a, SubnetId id) { return a < subnets_[id].prefix.base(); });
+  if (pos == subnet_index_.begin()) return kNoSubnet;
+  SubnetId candidate = *std::prev(pos);
+  return subnets_[candidate].prefix.Contains(address) ? candidate : kNoSubnet;
+}
+
+}  // namespace hobbit::netsim

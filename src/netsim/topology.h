@@ -1,0 +1,176 @@
+// topology.h — routers, forwarding tables and subnets of the synthetic
+// Internet.
+//
+// The paper's central distinction — route differences caused by *distinct
+// route entries* versus those caused by *load-balancing* — is modelled
+// directly: every router owns a longest-prefix-match FIB whose entries point
+// at ECMP groups, and every ECMP group carries the hashing policy a real
+// load-balancer would use (per-flow, per-destination or per-packet).
+// Ground-truth colocation lives in `Subnet`: all addresses covered by one
+// subnet are attached to the same place, however many gateway routers reach
+// it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/ipv4.h"
+
+namespace hobbit::netsim {
+
+/// Index of a router within a Topology.  Dense, starting at zero.
+using RouterId = std::uint32_t;
+inline constexpr RouterId kNoRouter = ~RouterId{0};
+
+/// Index of a subnet within a Topology.
+using SubnetId = std::uint32_t;
+inline constexpr SubnetId kNoSubnet = ~SubnetId{0};
+
+/// How an ECMP group selects among its next hops — which header fields the
+/// hash covers.  This is exactly the distinction Paris-traceroute MDA can
+/// and cannot see through: varying the flow identifier explores PerFlow
+/// groups but never PerDestination ones.
+enum class LbPolicy : std::uint8_t {
+  kPerFlow,         ///< hash(src, dst, flow id): MDA-enumerable
+  kPerDestination,  ///< hash(dst), uniform: differs across a /24's addresses
+  /// hash sensitive to the destination's low bits: numerically adjacent
+  /// addresses usually take different next hops, and the choice
+  /// interleaves finely across a /24 (some ECMP implementations behave
+  /// this way; it is what makes interleaved last-hop groups so common).
+  kPerDestinationCyclic,
+  kPerDestAndSrc,   ///< hash(src, dst): per-destination seen from one vantage
+  kPerPacket,       ///< random each packet (rare; breaks traceroute)
+};
+
+/// A set of equal-cost next hops plus the policy used to pick one.
+struct EcmpGroup {
+  std::vector<RouterId> next_hops;
+  LbPolicy policy = LbPolicy::kPerFlow;
+};
+
+/// One forwarding entry: packets matching `prefix` are handed to `group`.
+struct FibEntry {
+  Prefix prefix;
+  EcmpGroup group;
+};
+
+/// A longest-prefix-match forwarding table.
+///
+/// Entries are kept sorted by (base, length).  `Lookup` runs LPM by binary
+/// searching each prefix length that actually occurs in the table, longest
+/// first — O(lengths-present × log n), which is fast even for the core
+/// routers whose tables carry an entry per allocated address run.
+class Fib {
+ public:
+  /// Inserts or replaces the entry for `prefix`.
+  void Add(const Prefix& prefix, EcmpGroup group);
+
+  /// Convenience: single next hop, default (per-flow) policy irrelevant for
+  /// width-1 groups.
+  void AddSingle(const Prefix& prefix, RouterId next_hop);
+
+  /// Longest-prefix match.  Returns nullptr when no entry covers `dst`
+  /// (no default route installed).
+  const EcmpGroup* Lookup(Ipv4Address dst) const;
+
+  /// The matched entry itself (prefix + group); nullptr when no match.
+  const FibEntry* LookupEntry(Ipv4Address dst) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<FibEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<FibEntry> entries_;  // sorted by (base, length)
+  std::uint64_t lengths_present_ = 0;  // bit l set when a /l entry exists
+};
+
+/// How willing a router is to source ICMP time-exceeded messages.  The
+/// paper's "Unresponsive last-hop" class (16.8 % of measurable /24s) and
+/// its wildcard route matching both stem from this behaviour.
+struct ResponseModel {
+  /// Probability that any given TTL-exceeded probe is answered.
+  double respond_probability = 1.0;
+  /// Above this many answers per "probe burst" the router rate-limits and
+  /// stays silent; 0 disables rate limiting.
+  std::uint32_t rate_limit_per_burst = 0;
+};
+
+/// A router: a reply address (its identity in traceroute output), a FIB and
+/// a response model.  `name` is for diagnostics only.
+struct Router {
+  Ipv4Address reply_address;
+  Fib fib;
+  ResponseModel response;
+  std::string name;
+};
+
+/// Broad service categories; they steer RTT behaviour, reverse-DNS naming
+/// and the registry join used by Tables 3 and 5.
+enum class SubnetKind : std::uint8_t {
+  kResidential,
+  kBusiness,
+  kDatacenter,
+  kCellular,
+  kHosting,
+};
+
+/// Ground truth: one route entry's worth of addresses, attached to a fixed
+/// set of gateway (last-hop) routers.  Two addresses are *truly
+/// homogeneous* iff they belong to the same subnet (or to subnets with
+/// identical gateway sets, for aggregate blocks).
+struct Subnet {
+  Prefix prefix;
+  /// All routers directly attaching this subnet.  Width > 1 means a
+  /// per-destination load balancer upstream spreads addresses across
+  /// gateways — different measured last-hops with no heterogeneity.
+  std::vector<RouterId> gateways;
+  /// Index of the owning autonomous system in the registry.
+  std::uint32_t as_index = 0;
+  SubnetKind kind = SubnetKind::kResidential;
+  /// Fraction of addresses that exist and answer pings, before churn.
+  double occupancy = 0.5;
+  /// Base one-way propagation component of RTT, in milliseconds.
+  double base_rtt_ms = 40.0;
+  /// Identifier of the reverse-DNS naming scheme used by this subnet.
+  std::uint32_t rdns_scheme = 0;
+  /// Geographic coordinates in an abstract unit square (per-PoP, with
+  /// per-customer scatter for split /24s) — the ground truth behind the
+  /// EDNS-client-subnet experiment.
+  double geo_x = 0.5;
+  double geo_y = 0.5;
+};
+
+/// The router graph plus the subnet map.  Addresses resolve to subnets via
+/// a sorted prefix table (subnenet prefixes never overlap).
+class Topology {
+ public:
+  RouterId AddRouter(Router router);
+  SubnetId AddSubnet(Subnet subnet);
+
+  /// Must be called once after all subnets are added and before lookups.
+  /// Sorts the subnet index; verifies prefixes do not overlap.
+  void Seal();
+
+  Router& router(RouterId id) { return routers_[id]; }
+  const Router& router(RouterId id) const { return routers_[id]; }
+  std::size_t router_count() const { return routers_.size(); }
+
+  const Subnet& subnet(SubnetId id) const { return subnets_[id]; }
+  Subnet& subnet(SubnetId id) { return subnets_[id]; }
+  std::size_t subnet_count() const { return subnets_.size(); }
+
+  /// The subnet containing `address`, or kNoSubnet.
+  SubnetId FindSubnet(Ipv4Address address) const;
+
+  bool sealed() const { return sealed_; }
+
+ private:
+  std::vector<Router> routers_;
+  std::vector<Subnet> subnets_;
+  /// Subnet ids sorted by prefix base, for binary-search lookup.
+  std::vector<SubnetId> subnet_index_;
+  bool sealed_ = false;
+};
+
+}  // namespace hobbit::netsim

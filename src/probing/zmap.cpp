@@ -1,0 +1,57 @@
+#include "probing/zmap.h"
+
+namespace hobbit::probing {
+
+ZmapSnapshot RunZmapScan(const netsim::Internet& internet,
+                         std::span<const netsim::Prefix> target_24s,
+                         const netsim::Simulator* simulator) {
+  if (simulator == nullptr) simulator = internet.simulator.get();
+  const netsim::Topology& topology = internet.topology;
+  const netsim::HostModel& hosts = simulator->host_model();
+
+  ZmapSnapshot snapshot;
+  for (const netsim::Prefix& slash24 : target_24s) {
+    ZmapBlock block;
+    block.prefix = slash24;
+    // Subnets may subdivide the /24; resolve per sub-covering prefix to
+    // avoid 256 full lookups.
+    netsim::Ipv4Address cursor = slash24.base();
+    while (slash24.Contains(cursor)) {
+      netsim::SubnetId id = topology.FindSubnet(cursor);
+      if (id == netsim::kNoSubnet) break;  // unallocated tail
+      const netsim::Subnet& subnet = topology.subnet(id);
+      netsim::Ipv4Address stop = subnet.prefix.Last() < slash24.Last()
+                                     ? subnet.prefix.Last()
+                                     : slash24.Last();
+      for (std::uint32_t a = cursor.value(); a <= stop.value(); ++a) {
+        netsim::Ipv4Address address(a);
+        if (hosts.ActiveInSnapshot(address, subnet)) {
+          block.active_octets.push_back(
+              static_cast<std::uint8_t>(a & 0xFF));
+        }
+      }
+      if (stop == slash24.Last()) break;
+      cursor = netsim::Ipv4Address(stop.value() + 1);
+    }
+    if (!block.active_octets.empty()) {
+      snapshot.blocks.push_back(std::move(block));
+    }
+  }
+  return snapshot;
+}
+
+bool MeetsSlash26Criterion(const ZmapBlock& block) {
+  bool quarter[4] = {false, false, false, false};
+  for (std::uint8_t octet : block.active_octets) quarter[octet >> 6] = true;
+  return quarter[0] && quarter[1] && quarter[2] && quarter[3];
+}
+
+std::vector<ZmapBlock> SelectStudyBlocks(const ZmapSnapshot& snapshot) {
+  std::vector<ZmapBlock> out;
+  for (const ZmapBlock& block : snapshot.blocks) {
+    if (MeetsSlash26Criterion(block)) out.push_back(block);
+  }
+  return out;
+}
+
+}  // namespace hobbit::probing

@@ -1,0 +1,55 @@
+// zmap.h — Internet-wide ICMP echo scanning.
+//
+// Stand-in for the scans.io "Full IPv4 ICMP Echo Request" dataset the paper
+// bootstraps from (§2.1): an exhaustive sweep recording which addresses
+// answered.  The snapshot is taken at *snapshot time*, one availability
+// epoch before probing, so an address that is "active" here may already be
+// gone when the Hobbit prober reaches it — exactly the paper's §3.3
+// caveat.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netsim/internet.h"
+#include "netsim/ipv4.h"
+
+namespace hobbit::probing {
+
+/// Scan result for one /24: the list of responsive final octets, ordered.
+struct ZmapBlock {
+  netsim::Prefix prefix;  // a /24
+  std::vector<std::uint8_t> active_octets;
+};
+
+/// The snapshot: one entry per scanned /24 that had at least one
+/// responsive address, sorted by prefix.
+struct ZmapSnapshot {
+  std::vector<ZmapBlock> blocks;
+
+  /// Total responsive addresses across all blocks.
+  std::uint64_t ActiveCount() const {
+    std::uint64_t n = 0;
+    for (const ZmapBlock& b : blocks) n += b.active_octets.size();
+    return n;
+  }
+};
+
+/// Sweeps every address of every target /24 and records responders.
+/// Deterministic; reads the snapshot-epoch liveness model.  `simulator`
+/// selects whose epoch/liveness view is scanned (nullptr = the
+/// internet's primary simulator).
+ZmapSnapshot RunZmapScan(const netsim::Internet& internet,
+                         std::span<const netsim::Prefix> target_24s,
+                         const netsim::Simulator* simulator = nullptr);
+
+/// The paper's destination-selection criterion (§3.3): a /24 qualifies for
+/// the study when every /26 inside it has at least one active address
+/// (which also implies >= 4 active addresses).
+bool MeetsSlash26Criterion(const ZmapBlock& block);
+
+/// Filters a snapshot down to the study universe.
+std::vector<ZmapBlock> SelectStudyBlocks(const ZmapSnapshot& snapshot);
+
+}  // namespace hobbit::probing

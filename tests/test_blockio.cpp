@@ -1,0 +1,118 @@
+#include "cluster/blockio.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace hobbit::cluster {
+namespace {
+
+using test::Addr;
+using test::Pfx;
+
+std::vector<AggregateBlock> SampleBlocks() {
+  AggregateBlock a;
+  a.member_24s = {Pfx("20.0.1.0/24"), Pfx("20.0.9.0/24")};
+  a.last_hops = {Addr("10.0.0.1"), Addr("10.0.0.2")};
+  AggregateBlock b;
+  b.member_24s = {Pfx("99.1.2.0/24")};
+  b.last_hops = {Addr("10.0.0.9")};
+  return {a, b};
+}
+
+TEST(BlockIo, RoundTrip) {
+  auto blocks = SampleBlocks();
+  std::ostringstream os;
+  WriteBlocks(os, blocks);
+  std::istringstream is(os.str());
+  auto loaded = ReadBlocks(is);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].member_24s, blocks[i].member_24s);
+    EXPECT_EQ((*loaded)[i].last_hops, blocks[i].last_hops);
+  }
+}
+
+TEST(BlockIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream is(
+      "# leading comment\n\nHobbitBlocks v1\n# another\n"
+      "B0 hops=10.0.0.1 members=20.0.1.0/24\n\n");
+  auto loaded = ReadBlocks(is);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(BlockIo, RejectsMissingHeader) {
+  std::istringstream is("B0 hops=10.0.0.1 members=20.0.1.0/24\n");
+  std::string error;
+  EXPECT_FALSE(ReadBlocks(is, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(BlockIo, RejectsBadAddressAndPrefix) {
+  {
+    std::istringstream is(
+        "HobbitBlocks v1\nB0 hops=10.0.0.999 members=20.0.1.0/24\n");
+    std::string error;
+    EXPECT_FALSE(ReadBlocks(is, &error).has_value());
+    EXPECT_NE(error.find("last-hop"), std::string::npos);
+  }
+  {
+    std::istringstream is(
+        "HobbitBlocks v1\nB0 hops=10.0.0.1 members=20.0.1.0/23\n");
+    std::string error;
+    EXPECT_FALSE(ReadBlocks(is, &error).has_value());
+    EXPECT_NE(error.find("member"), std::string::npos);
+  }
+  {
+    std::istringstream is("HobbitBlocks v1\nB0 hops=10.0.0.1 members=\n");
+    EXPECT_FALSE(ReadBlocks(is).has_value());
+  }
+}
+
+TEST(BlockIo, RejectsEmptyInput) {
+  std::istringstream is("");
+  EXPECT_FALSE(ReadBlocks(is).has_value());
+}
+
+TEST(BlockIo, ErrorsCarryLineNumbers) {
+  std::istringstream is("HobbitBlocks v1\ngarbage line here\n");
+  std::string error;
+  EXPECT_FALSE(ReadBlocks(is, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(BlockIndex, FindsOwningBlock) {
+  auto blocks = SampleBlocks();
+  BlockIndex index(blocks);
+  EXPECT_EQ(index.BlockOf(Pfx("20.0.1.0/24")), 0);
+  EXPECT_EQ(index.BlockOf(Pfx("20.0.9.0/24")), 0);
+  EXPECT_EQ(index.BlockOf(Pfx("99.1.2.0/24")), 1);
+  EXPECT_EQ(index.BlockOf(Pfx("1.2.3.0/24")), -1);
+}
+
+TEST(BlockIo, RoundTripThroughPipelineOutput) {
+  netsim::Internet internet = netsim::BuildInternet(netsim::TinyConfig(61));
+  core::PipelineConfig config;
+  config.seed = 61;
+  config.calibration_blocks = 40;
+  core::PipelineResult result = core::RunPipeline(internet, config);
+  auto aggregates = AggregateIdentical(result.HomogeneousBlocks());
+  ASSERT_FALSE(aggregates.empty());
+  std::ostringstream os;
+  WriteBlocks(os, aggregates);
+  std::istringstream is(os.str());
+  auto loaded = ReadBlocks(is);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), aggregates.size());
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].member_24s, aggregates[i].member_24s);
+    EXPECT_EQ((*loaded)[i].last_hops, aggregates[i].last_hops);
+  }
+}
+
+}  // namespace
+}  // namespace hobbit::cluster

@@ -1,0 +1,78 @@
+#include "analysis/census.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hobbit::analysis {
+namespace {
+
+using test::Pfx;
+
+netsim::Registry MakeRegistry() {
+  netsim::Registry registry;
+  std::uint32_t kt = registry.AddAs(
+      {4766, "Korea Telecom", "Korea", netsim::OrgType::kBroadbandIsp});
+  std::uint32_t sk = registry.AddAs(
+      {9318, "SK Broadband", "Korea", netsim::OrgType::kBroadbandIsp});
+  registry.AddAllocation(Pfx("60.0.0.0/12"), kt);
+  registry.AddAllocation(Pfx("61.0.0.0/12"), sk);
+  registry.Seal();
+  return registry;
+}
+
+TEST(Census, CountByAsRanksDescending) {
+  netsim::Registry registry = MakeRegistry();
+  std::vector<netsim::Prefix> prefixes = {
+      Pfx("60.0.1.0/24"), Pfx("60.0.2.0/24"), Pfx("60.0.3.0/24"),
+      Pfx("61.0.1.0/24"), Pfx("99.0.0.0/24") /* unallocated: skipped */};
+  auto rows = CountByAs(registry, prefixes);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].info.asn, 4766u);
+  EXPECT_EQ(rows[0].count, 3u);
+  EXPECT_EQ(rows[1].info.asn, 9318u);
+  EXPECT_EQ(rows[1].count, 1u);
+}
+
+TEST(Census, CountByAsTieBreaksByAsn) {
+  netsim::Registry registry = MakeRegistry();
+  std::vector<netsim::Prefix> prefixes = {Pfx("60.0.1.0/24"),
+                                          Pfx("61.0.1.0/24")};
+  auto rows = CountByAs(registry, prefixes);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].info.asn, 4766u);  // equal counts: lower ASN first
+}
+
+TEST(Census, AsOfBlockUsesFirstMember) {
+  netsim::Registry registry = MakeRegistry();
+  cluster::AggregateBlock block;
+  block.member_24s = {Pfx("60.0.1.0/24"), Pfx("60.0.2.0/24")};
+  const netsim::AsInfo* as = AsOfBlock(registry, block);
+  ASSERT_NE(as, nullptr);
+  EXPECT_EQ(as->organization, "Korea Telecom");
+
+  cluster::AggregateBlock empty;
+  EXPECT_EQ(AsOfBlock(registry, empty), nullptr);
+  cluster::AggregateBlock unknown;
+  unknown.member_24s = {Pfx("99.0.0.0/24")};
+  EXPECT_EQ(AsOfBlock(registry, unknown), nullptr);
+}
+
+TEST(Census, DominantKindFromGeneratedWorld) {
+  netsim::Internet internet = netsim::BuildInternet(netsim::TinyConfig(23));
+  // Assemble a block from all cellular /24s; dominant kind must agree.
+  cluster::AggregateBlock block;
+  for (const netsim::Prefix& p : internet.study_24s) {
+    netsim::SubnetId id = internet.topology.FindSubnet(p.base());
+    if (id != netsim::kNoSubnet &&
+        internet.topology.subnet(id).kind ==
+            netsim::SubnetKind::kCellular) {
+      block.member_24s.push_back(p);
+    }
+  }
+  ASSERT_GE(block.member_24s.size(), 10u);
+  EXPECT_EQ(DominantKind(internet, block), netsim::SubnetKind::kCellular);
+}
+
+}  // namespace
+}  // namespace hobbit::analysis

@@ -1,0 +1,109 @@
+#include "cluster/components.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netsim/rng.h"
+
+namespace hobbit::cluster {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  EXPECT_NE(uf.Find(0), uf.Find(3));
+  EXPECT_EQ(uf.SizeOf(1), 3u);
+  EXPECT_EQ(uf.SizeOf(4), 1u);
+}
+
+TEST(SplitComponents, SeparatesDisconnectedParts) {
+  Graph g;
+  g.vertex_count = 6;
+  g.edges = {{0, 1, 1.0}, {1, 2, 0.5}, {3, 4, 1.0}};
+  auto components = SplitComponents(g);
+  ASSERT_EQ(components.size(), 3u);  // {0,1,2}, {3,4}, {5}
+
+  std::set<std::set<std::uint32_t>> sets;
+  for (const auto& component : components) {
+    sets.insert(std::set<std::uint32_t>(component.vertices.begin(),
+                                        component.vertices.end()));
+  }
+  EXPECT_TRUE(sets.count({0, 1, 2}));
+  EXPECT_TRUE(sets.count({3, 4}));
+  EXPECT_TRUE(sets.count({5}));
+}
+
+TEST(SplitComponents, LocalEdgesAreRemappedAndComplete) {
+  Graph g;
+  g.vertex_count = 5;
+  g.edges = {{4, 2, 0.7}, {2, 0, 0.3}};
+  auto components = SplitComponents(g);
+  const Component* big = nullptr;
+  for (const auto& component : components) {
+    if (component.vertices.size() == 3) big = &component;
+  }
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(big->graph.vertex_count, 3u);
+  EXPECT_EQ(big->graph.edges.size(), 2u);
+  for (const auto& edge : big->graph.edges) {
+    EXPECT_LT(edge.a, 3u);
+    EXPECT_LT(edge.b, 3u);
+    // Weights survive the remap.
+    EXPECT_TRUE(edge.weight == 0.7 || edge.weight == 0.3);
+  }
+}
+
+TEST(SplitComponents, EmptyGraph) {
+  Graph g;
+  EXPECT_TRUE(SplitComponents(g).empty());
+}
+
+TEST(SplitComponents, FullyConnectedIsOneComponent) {
+  Graph g;
+  g.vertex_count = 4;
+  g.edges = {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}};
+  auto components = SplitComponents(g);
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components.front().vertices.size(), 4u);
+}
+
+// Property: component split preserves vertices and edges exactly.
+class ComponentsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComponentsProperty, PreservesVerticesAndEdges) {
+  netsim::Rng rng(GetParam());
+  Graph g;
+  g.vertex_count = 30;
+  for (std::uint32_t i = 0; i < g.vertex_count; ++i) {
+    for (std::uint32_t j = i + 1; j < g.vertex_count; ++j) {
+      if (rng.NextBool(0.06)) g.edges.push_back({i, j, rng.NextUnit()});
+    }
+  }
+  auto components = SplitComponents(g);
+  std::size_t vertex_total = 0, edge_total = 0;
+  std::set<std::uint32_t> all_vertices;
+  for (const auto& component : components) {
+    vertex_total += component.vertices.size();
+    edge_total += component.graph.edges.size();
+    for (std::uint32_t v : component.vertices) all_vertices.insert(v);
+    // No cross-component edges by construction: every local edge must be
+    // within bounds.
+    for (const auto& edge : component.graph.edges) {
+      EXPECT_LT(edge.a, component.graph.vertex_count);
+      EXPECT_LT(edge.b, component.graph.vertex_count);
+    }
+  }
+  EXPECT_EQ(vertex_total, g.vertex_count);
+  EXPECT_EQ(all_vertices.size(), g.vertex_count);
+  EXPECT_EQ(edge_total, g.edges.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComponentsProperty,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace hobbit::cluster

@@ -1,0 +1,129 @@
+#include "analysis/edns.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hobbit::analysis {
+namespace {
+
+TEST(Edns, LatencyGrowsWithDistance) {
+  netsim::Subnet subnet;
+  subnet.base_rtt_ms = 40.0;
+  subnet.geo_x = 0.0;
+  subnet.geo_y = 0.0;
+  FrontEnd near_fe{0.05, 0.0};
+  FrontEnd far_fe{0.9, 0.9};
+  EXPECT_LT(LatencyToFrontEnd(subnet, near_fe),
+            LatencyToFrontEnd(subnet, far_fe));
+  // At zero distance only the access component remains.
+  FrontEnd colocated{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(LatencyToFrontEnd(subnet, colocated), 10.0);
+}
+
+TEST(Edns, PlacementIsDeterministicAndInRange) {
+  auto a = PlaceFrontEnds(16, netsim::Rng(5));
+  auto b = PlaceFrontEnds(16, netsim::Rng(5));
+  ASSERT_EQ(a.size(), 16u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_GE(a[i].x, 0.0);
+    EXPECT_LT(a[i].x, 1.0);
+    EXPECT_GE(a[i].y, 0.0);
+    EXPECT_LT(a[i].y, 1.0);
+  }
+}
+
+TEST(Edns, HomogeneousStratumHasZeroPenalty) {
+  // All clients of one subnet share a location: whatever representative
+  // is measured, the mapping is optimal for everyone.
+  netsim::Internet internet = netsim::BuildInternet(netsim::TinyConfig(71));
+  const netsim::Prefix& slash24 = internet.study_24s.front();
+  std::vector<std::vector<netsim::Ipv4Address>> strata(1);
+  for (std::uint32_t i = 1; i < 50; ++i) {
+    strata[0].push_back(netsim::Ipv4Address(slash24.base().value() + i));
+  }
+  auto front_ends = PlaceFrontEnds(8, netsim::Rng(9));
+  const netsim::TruthRecord* truth = internet.TruthOf(slash24);
+  ASSERT_NE(truth, nullptr);
+  if (truth->heterogeneous) GTEST_SKIP() << "drew a split /24";
+  MappingOutcome outcome =
+      EvaluateMapping(internet, strata, front_ends, netsim::Rng(2));
+  EXPECT_DOUBLE_EQ(outcome.mean_penalty_ms, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.misdirected_share, 0.0);
+}
+
+TEST(Edns, ScatteredStratumPaysAPenalty) {
+  // Build a fake world view: clients from two far-apart subnets forced
+  // into one mapping unit must include misdirected ones for some
+  // front-end placements.
+  netsim::Internet internet = netsim::BuildInternet(netsim::TinyConfig(71));
+  // Find two /24s whose subnets sit far apart.
+  const netsim::Subnet* a = nullptr;
+  const netsim::Subnet* b = nullptr;
+  netsim::Prefix pa, pb;
+  for (const netsim::Prefix& p : internet.study_24s) {
+    netsim::SubnetId id = internet.topology.FindSubnet(p.base());
+    const netsim::Subnet& s = internet.topology.subnet(id);
+    if (a == nullptr) {
+      a = &s;
+      pa = p;
+      continue;
+    }
+    double dx = s.geo_x - a->geo_x, dy = s.geo_y - a->geo_y;
+    if (dx * dx + dy * dy > 0.5) {
+      b = &s;
+      pb = p;
+      break;
+    }
+  }
+  ASSERT_NE(b, nullptr);
+  std::vector<std::vector<netsim::Ipv4Address>> strata(1);
+  for (std::uint32_t i = 1; i < 40; ++i) {
+    strata[0].push_back(netsim::Ipv4Address(pa.base().value() + i));
+    strata[0].push_back(netsim::Ipv4Address(pb.base().value() + i));
+  }
+  auto front_ends = PlaceFrontEnds(16, netsim::Rng(9));
+  MappingOutcome outcome =
+      EvaluateMapping(internet, strata, front_ends, netsim::Rng(2));
+  EXPECT_GT(outcome.mean_penalty_ms, 1.0);
+  EXPECT_GT(outcome.misdirected_share, 0.2);
+}
+
+TEST(Edns, EmptyInputsAreSafe) {
+  netsim::Internet internet = netsim::BuildInternet(netsim::TinyConfig(71));
+  std::vector<std::vector<netsim::Ipv4Address>> strata;
+  auto front_ends = PlaceFrontEnds(4, netsim::Rng(1));
+  MappingOutcome outcome =
+      EvaluateMapping(internet, strata, front_ends, netsim::Rng(2));
+  EXPECT_EQ(outcome.clients, 0u);
+  std::vector<std::vector<netsim::Ipv4Address>> one(1);
+  one[0].push_back(internet.study_24s.front().base());
+  MappingOutcome no_fe = EvaluateMapping(internet, one, {}, netsim::Rng(2));
+  EXPECT_EQ(no_fe.clients, 0u);
+}
+
+TEST(Edns, SplitSubnetsSitApart) {
+  // Generator property: the sub-blocks of a split /24 have scattered
+  // coordinates (different customers, different towns).
+  netsim::Internet internet = netsim::BuildInternet(netsim::TinyConfig(71));
+  int checked = 0;
+  double moved = 0;
+  for (std::size_t i = 0; i < internet.study_24s.size(); ++i) {
+    if (!internet.truth[i].heterogeneous) continue;
+    const netsim::Prefix& p = internet.study_24s[i];
+    netsim::SubnetId first = internet.topology.FindSubnet(p.base());
+    netsim::SubnetId last = internet.topology.FindSubnet(p.Last());
+    if (first == last) continue;
+    const auto& sa = internet.topology.subnet(first);
+    const auto& sb = internet.topology.subnet(last);
+    double dx = sa.geo_x - sb.geo_x, dy = sa.geo_y - sb.geo_y;
+    moved += dx * dx + dy * dy > 1e-6;
+    ++checked;
+  }
+  ASSERT_GT(checked, 0);
+  EXPECT_GT(moved / checked, 0.9);
+}
+
+}  // namespace
+}  // namespace hobbit::analysis

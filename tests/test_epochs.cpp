@@ -1,0 +1,100 @@
+// Longitudinal epoch support: availability re-rolls, churned addresses
+// renumber, stable addresses persist.
+#include <gtest/gtest.h>
+
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+#include "test_util.h"
+
+namespace hobbit::netsim {
+namespace {
+
+TEST(Epochs, EpochZeroMatchesPrimarySimulator) {
+  Internet internet = BuildInternet(TinyConfig(81));
+  auto epoch0 = internet.MakeEpochSimulator(0);
+  const Prefix& p = internet.study_24s.front();
+  SubnetId id = internet.topology.FindSubnet(p.base());
+  const Subnet& subnet = internet.topology.subnet(id);
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    Ipv4Address address(p.base().value() + i);
+    EXPECT_EQ(internet.simulator->host_model().ActiveAtProbeTime(address,
+                                                                 subnet),
+              epoch0->host_model().ActiveAtProbeTime(address, subnet));
+  }
+}
+
+TEST(Epochs, AvailabilityChurnsBetweenEpochs) {
+  Internet internet = BuildInternet(TinyConfig(81));
+  auto epoch0 = internet.MakeEpochSimulator(0);
+  auto epoch1 = internet.MakeEpochSimulator(1);
+  std::size_t differs = 0, total = 0;
+  for (std::size_t b = 0; b < internet.study_24s.size(); b += 3) {
+    const Prefix& p = internet.study_24s[b];
+    SubnetId id = internet.topology.FindSubnet(p.base());
+    const Subnet& subnet = internet.topology.subnet(id);
+    for (std::uint32_t i = 0; i < 256; i += 5) {
+      Ipv4Address address(p.base().value() + i);
+      ++total;
+      differs += epoch0->host_model().ActiveAtProbeTime(address, subnet) !=
+                 epoch1->host_model().ActiveAtProbeTime(address, subnet);
+    }
+  }
+  ASSERT_GT(total, 500u);
+  // Some churn, but far from a reshuffle.
+  EXPECT_GT(differs, total / 50);
+  EXPECT_LT(differs, total / 2);
+}
+
+TEST(Epochs, StableAddressesKeepExistence) {
+  HostModelConfig config;
+  config.seed = 7;
+  config.p_address_churn = 0.0;  // nothing renumbers
+  Subnet subnet;
+  subnet.prefix = *Prefix::Parse("20.0.0.0/24");
+  subnet.occupancy = 0.5;
+  HostModel epoch0(config);
+  config.epoch = 3;
+  HostModel epoch3(config);
+  for (std::uint32_t i = 0; i < 2048; ++i) {
+    Ipv4Address address(0x14000000u + i);
+    EXPECT_EQ(epoch0.Exists(address, subnet),
+              epoch3.Exists(address, subnet));
+  }
+}
+
+TEST(Epochs, ChurnRenumbersRoughlyTheConfiguredShare) {
+  HostModelConfig config;
+  config.seed = 9;
+  config.p_address_churn = 0.3;
+  Subnet subnet;
+  subnet.prefix = *Prefix::Parse("20.0.0.0/24");
+  subnet.occupancy = 0.5;
+  HostModel epoch0(config);
+  config.epoch = 1;
+  HostModel epoch1(config);
+  std::size_t flipped = 0, total = 20000;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    Ipv4Address address(0x15000000u + i);
+    flipped += epoch0.Exists(address, subnet) !=
+               epoch1.Exists(address, subnet);
+  }
+  // A churned address re-rolls: it flips with 2*p*(1-p) = 0.5 chance
+  // given occupancy 0.5, so ~15% of all addresses flip.
+  EXPECT_NEAR(static_cast<double>(flipped) / static_cast<double>(total),
+              0.15, 0.03);
+}
+
+TEST(Epochs, PipelineRunsOnLaterEpoch) {
+  Internet internet = BuildInternet(TinyConfig(83));
+  auto epoch2 = internet.MakeEpochSimulator(2);
+  core::PipelineConfig config;
+  config.seed = 83;
+  config.calibration_blocks = 30;
+  core::PipelineResult result =
+      core::RunPipeline(internet, config, epoch2.get());
+  EXPECT_GT(result.stats.study_24s, 0u);
+  EXPECT_GT(result.HomogeneousBlocks().size(), 0u);
+}
+
+}  // namespace
+}  // namespace hobbit::netsim

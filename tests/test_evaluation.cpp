@@ -1,0 +1,113 @@
+#include "analysis/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hobbit::analysis {
+namespace {
+
+struct Fixture {
+  netsim::Internet internet;
+  core::PipelineResult result;
+  std::vector<cluster::AggregateBlock> aggregates;
+};
+
+Fixture& Shared() {
+  static Fixture fixture = [] {
+    Fixture f;
+    f.internet = netsim::BuildInternet(netsim::TinyConfig(37));
+    core::PipelineConfig config;
+    config.seed = 37;
+    config.calibration_blocks = 50;
+    f.result = core::RunPipeline(f.internet, config);
+    f.aggregates = cluster::AggregateIdentical(f.result.HomogeneousBlocks());
+    return f;
+  }();
+  return fixture;
+}
+
+TEST(Evaluation, VerdictCountsPartitionAnalyzableBlocks) {
+  Fixture& f = Shared();
+  VerdictEvaluation e = EvaluateVerdicts(f.internet, f.result);
+  const std::uint64_t scored = e.true_homogeneous + e.false_homogeneous +
+                               e.true_heterogeneous +
+                               e.false_heterogeneous;
+  EXPECT_EQ(scored + e.not_analyzable, f.result.results.size());
+  EXPECT_GT(scored, 50u);
+}
+
+TEST(Evaluation, HobbitIsAccurateOnTheTinyWorld) {
+  Fixture& f = Shared();
+  VerdictEvaluation e = EvaluateVerdicts(f.internet, f.result);
+  EXPECT_GT(e.Accuracy(), 0.85);
+  EXPECT_GT(e.HomogeneousPrecision(), 0.95)
+      << "saying 'homogeneous' must be near-certain";
+}
+
+TEST(Evaluation, RatesAreWellDefinedOnEmptyInput) {
+  VerdictEvaluation empty;
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.HomogeneousPrecision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.HeterogeneousRecall(), 0.0);
+  FlagEvaluation no_flags;
+  EXPECT_DOUBLE_EQ(no_flags.Precision(), 0.0);
+  AggregationEvaluation no_blocks;
+  EXPECT_DOUBLE_EQ(no_blocks.Purity(), 0.0);
+}
+
+TEST(Evaluation, AlignedDisjointFlagIsPrecise) {
+  Fixture& f = Shared();
+  FlagEvaluation e = EvaluateAlignedDisjointFlag(f.internet, f.result);
+  if (e.flagged == 0) GTEST_SKIP() << "no splits sampled at this scale";
+  EXPECT_DOUBLE_EQ(e.Precision(), 1.0)
+      << "the paper claims <0.1% false positives";
+}
+
+TEST(Evaluation, ExactAggregationIsMostlyPure) {
+  Fixture& f = Shared();
+  AggregationEvaluation e = EvaluateAggregation(f.internet, f.aggregates);
+  EXPECT_GT(e.blocks, 20u);
+  EXPECT_GT(e.Purity(), 0.8);
+  EXPECT_GT(e.mean_completeness, 0.3);
+  EXPECT_LE(e.mean_completeness, 1.0);
+}
+
+TEST(Evaluation, SyntheticPureAndMixedBlocks) {
+  // Hand-built blocks against the world's truth records.
+  Fixture& f = Shared();
+  // Find two /24s of the same truth block and one of a different block.
+  netsim::Prefix a, b, c;
+  std::uint64_t pair_truth = 0;
+  bool have_pair = false, have_other = false;
+  std::map<std::uint64_t, netsim::Prefix> seen;
+  for (std::size_t i = 0; i < f.internet.study_24s.size(); ++i) {
+    const netsim::TruthRecord& truth = f.internet.truth[i];
+    if (truth.heterogeneous) continue;
+    auto pos = seen.find(truth.truth_block);
+    if (pos != seen.end() && !have_pair) {
+      a = pos->second;
+      b = truth.prefix;
+      pair_truth = truth.truth_block;
+      have_pair = true;
+    } else if (have_pair && !have_other &&
+               truth.truth_block != pair_truth) {
+      c = truth.prefix;
+      have_other = true;
+      break;
+    }
+    seen.emplace(truth.truth_block, truth.prefix);
+  }
+  ASSERT_TRUE(have_pair && have_other);
+  cluster::AggregateBlock pure;
+  pure.member_24s = {a, b};
+  cluster::AggregateBlock mixed;
+  mixed.member_24s = {a, c};
+  std::vector<cluster::AggregateBlock> blocks = {pure, mixed};
+  AggregationEvaluation e = EvaluateAggregation(f.internet, blocks);
+  EXPECT_EQ(e.blocks, 2u);
+  EXPECT_EQ(e.pure_blocks, 1u);
+}
+
+}  // namespace
+}  // namespace hobbit::analysis

@@ -1,0 +1,160 @@
+// Cross-module integration: the full chain from world generation through
+// MCL-validated aggregation, checked against ground truth.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/aggregate.h"
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+
+namespace hobbit {
+namespace {
+
+struct Chain {
+  netsim::Internet internet;
+  core::PipelineResult pipeline;
+  std::vector<cluster::AggregateBlock> aggregates;
+  cluster::MclAggregationResult mcl;
+  std::vector<cluster::AggregateBlock> final_blocks;
+};
+
+Chain RunChain(std::uint64_t seed) {
+  Chain chain;
+  chain.internet = netsim::BuildInternet(netsim::TinyConfig(seed));
+  core::PipelineConfig config;
+  config.seed = seed;
+  config.calibration_blocks = 60;
+  config.samples_per_block = 48;
+  chain.pipeline = core::RunPipeline(chain.internet, config);
+  chain.aggregates =
+      cluster::AggregateIdentical(chain.pipeline.HomogeneousBlocks());
+  chain.mcl = cluster::RunMclAggregation(chain.aggregates);
+  cluster::ValidateClusters(chain.internet, chain.pipeline.study_blocks,
+                            chain.aggregates, chain.mcl);
+  chain.final_blocks =
+      cluster::MergeValidatedClusters(chain.aggregates, chain.mcl);
+  return chain;
+}
+
+class IntegrationChain : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static Chain& Get(std::uint64_t seed) {
+    static std::map<std::uint64_t, Chain> cache;
+    auto pos = cache.find(seed);
+    if (pos == cache.end()) {
+      pos = cache.emplace(seed, RunChain(seed)).first;
+    }
+    return pos->second;
+  }
+};
+
+TEST_P(IntegrationChain, FinalBlocksPartitionTheAggregated24s) {
+  Chain& chain = Get(GetParam());
+  std::set<netsim::Prefix> in_aggregates, in_final;
+  for (const auto& aggregate : chain.aggregates) {
+    for (const auto& p : aggregate.member_24s) in_aggregates.insert(p);
+  }
+  std::size_t final_members = 0;
+  for (const auto& block : chain.final_blocks) {
+    for (const auto& p : block.member_24s) {
+      EXPECT_TRUE(in_final.insert(p).second)
+          << p.ToString() << " appears in two final blocks";
+      ++final_members;
+    }
+  }
+  EXPECT_EQ(in_final, in_aggregates);
+  EXPECT_EQ(final_members, in_aggregates.size());
+}
+
+TEST_P(IntegrationChain, FinalBlocksRarelyMixTruthBlocks) {
+  // A merged block mixing two ground-truth gateway sets is an
+  // aggregation error; validated merging should keep these rare.
+  Chain& chain = Get(GetParam());
+  std::size_t multi = 0, pure = 0;
+  for (const auto& block : chain.final_blocks) {
+    if (block.member_24s.size() < 2) continue;
+    std::set<std::uint64_t> truth_ids;
+    for (const auto& p : block.member_24s) {
+      const netsim::TruthRecord* truth = chain.internet.TruthOf(p);
+      ASSERT_NE(truth, nullptr);
+      truth_ids.insert(truth->truth_block);
+    }
+    ++multi;
+    pure += truth_ids.size() == 1;
+  }
+  ASSERT_GE(multi, 3u);
+  // Exact aggregation can legitimately mix when a partial measurement of
+  // a wide set coincides with another block's full set; it must stay a
+  // small minority.
+  EXPECT_GT(static_cast<double>(pure) / static_cast<double>(multi), 0.75)
+      << pure << "/" << multi;
+}
+
+TEST_P(IntegrationChain, TruthBlocksAreRecoveredLargely) {
+  // For each big ground-truth block, the largest final block covering it
+  // should hold most of its measurable /24s.
+  Chain& chain = Get(GetParam());
+  std::map<std::uint64_t, std::set<netsim::Prefix>> truth_members;
+  std::set<netsim::Prefix> measurable;
+  for (const auto& r : chain.pipeline.results) {
+    if (core::IsHomogeneous(r.classification)) measurable.insert(r.prefix);
+  }
+  for (std::size_t i = 0; i < chain.internet.study_24s.size(); ++i) {
+    const netsim::TruthRecord& truth = chain.internet.truth[i];
+    if (truth.heterogeneous) continue;
+    if (!measurable.count(truth.prefix)) continue;
+    truth_members[truth.truth_block].insert(truth.prefix);
+  }
+  // Largest truth block with >= 20 measurable members.
+  const std::set<netsim::Prefix>* biggest = nullptr;
+  for (const auto& [id, members] : truth_members) {
+    if (biggest == nullptr || members.size() > biggest->size()) {
+      biggest = &members;
+    }
+  }
+  ASSERT_NE(biggest, nullptr);
+  ASSERT_GE(biggest->size(), 10u);
+  std::size_t best_cover = 0;
+  for (const auto& block : chain.final_blocks) {
+    std::size_t cover = 0;
+    for (const auto& p : block.member_24s) cover += biggest->count(p);
+    best_cover = std::max(best_cover, cover);
+  }
+  EXPECT_GT(static_cast<double>(best_cover) /
+                static_cast<double>(biggest->size()),
+            0.5)
+      << best_cover << " of " << biggest->size();
+}
+
+TEST_P(IntegrationChain, ValidatedClustersOnlyMergeIdenticalTruth) {
+  Chain& chain = Get(GetParam());
+  for (const auto& cluster : chain.mcl.clusters) {
+    if (!cluster.validated_homogeneous) continue;
+    std::set<std::uint64_t> truth_ids;
+    for (std::uint32_t id : cluster.aggregate_ids) {
+      for (const auto& p : chain.aggregates[id].member_24s) {
+        const netsim::TruthRecord* truth = chain.internet.TruthOf(p);
+        truth_ids.insert(truth->truth_block);
+      }
+    }
+    EXPECT_EQ(truth_ids.size(), 1u)
+        << "reprobe validation accepted a mixed cluster";
+  }
+}
+
+TEST_P(IntegrationChain, UnvalidatedRatioBelowOneStaysSplit) {
+  Chain& chain = Get(GetParam());
+  for (const auto& cluster : chain.mcl.clusters) {
+    if (cluster.identical_pair_ratio < 1.0) {
+      EXPECT_FALSE(cluster.validated_homogeneous);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationChain,
+                         ::testing::Values(31, 47));
+
+}  // namespace
+}  // namespace hobbit

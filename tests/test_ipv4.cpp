@@ -1,0 +1,177 @@
+#include "netsim/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hobbit::netsim {
+namespace {
+
+TEST(Ipv4Address, FromOctetsAndBack) {
+  Ipv4Address a = Ipv4Address::FromOctets(192, 0, 2, 7);
+  EXPECT_EQ(a.value(), 0xC0000207u);
+  EXPECT_EQ(a.Octet(0), 192);
+  EXPECT_EQ(a.Octet(1), 0);
+  EXPECT_EQ(a.Octet(2), 2);
+  EXPECT_EQ(a.Octet(3), 7);
+  EXPECT_EQ(a.ToString(), "192.0.2.7");
+}
+
+TEST(Ipv4Address, ParseValid) {
+  auto a = Ipv4Address::Parse("10.20.30.40");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Ipv4Address::FromOctets(10, 20, 30, 40));
+  EXPECT_EQ(Ipv4Address::Parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParseRejectsGarbage) {
+  const char* bad[] = {"",           "1.2.3",      "1.2.3.4.5", "256.1.1.1",
+                       "1.2.3.256",  "a.b.c.d",    "1..2.3",    "1.2.3.4 ",
+                       " 1.2.3.4",   "1.2.3.-4",   "1.2.3.4x",  "0001.2.3.4",
+                       "1,2,3,4"};
+  for (const char* text : bad) {
+    EXPECT_FALSE(Ipv4Address::Parse(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv4Address, OrderingMatchesNumeric) {
+  EXPECT_LT(Ipv4Address::FromOctets(1, 2, 3, 4),
+            Ipv4Address::FromOctets(1, 2, 3, 5));
+  EXPECT_LT(Ipv4Address::FromOctets(9, 255, 255, 255),
+            Ipv4Address::FromOctets(10, 0, 0, 0));
+}
+
+TEST(Ipv4Address, RoundTripsThroughString) {
+  for (std::uint32_t v : {0u, 1u, 255u, 256u, 0x01020304u, 0xFFFFFFFFu,
+                          0x80000000u, 0xC0A80101u}) {
+    Ipv4Address a(v);
+    auto back = Ipv4Address::Parse(a.ToString());
+    ASSERT_TRUE(back.has_value()) << a.ToString();
+    EXPECT_EQ(*back, a);
+  }
+}
+
+TEST(Prefix, CanonicalizesBase) {
+  Prefix p = Prefix::Of(Ipv4Address::FromOctets(10, 1, 2, 200), 24);
+  EXPECT_EQ(p.base(), Ipv4Address::FromOctets(10, 1, 2, 0));
+  EXPECT_EQ(p.length(), 24);
+  EXPECT_EQ(p.ToString(), "10.1.2.0/24");
+}
+
+TEST(Prefix, ParseValidAndCanonical) {
+  auto p = Prefix::Parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 8);
+  EXPECT_TRUE(Prefix::Parse("0.0.0.0/0").has_value());
+  EXPECT_TRUE(Prefix::Parse("1.2.3.4/32").has_value());
+}
+
+TEST(Prefix, ParseRejectsHostBitsAndGarbage) {
+  EXPECT_FALSE(Prefix::Parse("10.0.0.1/24").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/8x").has_value());
+}
+
+TEST(Prefix, SizeFirstLast) {
+  Prefix p = *Prefix::Parse("192.168.4.0/22");
+  EXPECT_EQ(p.Size(), 1024u);
+  EXPECT_EQ(p.First(), Ipv4Address::FromOctets(192, 168, 4, 0));
+  EXPECT_EQ(p.Last(), Ipv4Address::FromOctets(192, 168, 7, 255));
+  EXPECT_EQ(Prefix::Of(Ipv4Address(0), 0).Size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, ContainsAddress) {
+  Prefix p = *Prefix::Parse("10.1.0.0/16");
+  EXPECT_TRUE(p.Contains(Ipv4Address::FromOctets(10, 1, 255, 255)));
+  EXPECT_TRUE(p.Contains(Ipv4Address::FromOctets(10, 1, 0, 0)));
+  EXPECT_FALSE(p.Contains(Ipv4Address::FromOctets(10, 2, 0, 0)));
+  EXPECT_FALSE(p.Contains(Ipv4Address::FromOctets(9, 255, 0, 0)));
+}
+
+TEST(Prefix, ContainsPrefixAndDisjoint) {
+  Prefix p16 = *Prefix::Parse("10.1.0.0/16");
+  Prefix p24 = *Prefix::Parse("10.1.2.0/24");
+  Prefix other = *Prefix::Parse("10.2.0.0/16");
+  EXPECT_TRUE(p16.Contains(p24));
+  EXPECT_FALSE(p24.Contains(p16));
+  EXPECT_TRUE(p16.Contains(p16));
+  EXPECT_TRUE(p24.DisjointFrom(other));
+  EXPECT_FALSE(p16.DisjointFrom(p24));
+}
+
+TEST(Prefix, Slash24OfAndChildren) {
+  Prefix p = Prefix::Slash24Of(Ipv4Address::FromOctets(203, 0, 113, 77));
+  EXPECT_EQ(p.ToString(), "203.0.113.0/24");
+  EXPECT_EQ(p.Child(26, 0).ToString(), "203.0.113.0/26");
+  EXPECT_EQ(p.Child(26, 3).ToString(), "203.0.113.192/26");
+  EXPECT_EQ(p.Child(25, 1).ToString(), "203.0.113.128/25");
+}
+
+TEST(Prefix, OrderingPutsParentBeforeChildren) {
+  Prefix parent = *Prefix::Parse("10.0.0.0/8");
+  Prefix child = *Prefix::Parse("10.0.0.0/9");
+  EXPECT_LT(parent, child);
+}
+
+TEST(Lcp, AddressPairs) {
+  EXPECT_EQ(LongestCommonPrefixLength(Ipv4Address(0), Ipv4Address(0)), 32);
+  EXPECT_EQ(LongestCommonPrefixLength(Ipv4Address(0),
+                                      Ipv4Address(0x80000000u)),
+            0);
+  EXPECT_EQ(LongestCommonPrefixLength(
+                Ipv4Address::FromOctets(10, 0, 1, 0),
+                Ipv4Address::FromOctets(10, 0, 2, 0)),
+            22);
+}
+
+TEST(Lcp, PrefixPairsClampToLength) {
+  Prefix a = *Prefix::Parse("10.0.1.0/24");
+  Prefix b = *Prefix::Parse("10.0.1.0/24");
+  EXPECT_EQ(LongestCommonPrefixLength(a, b), 24);
+  Prefix c = *Prefix::Parse("10.0.2.0/24");
+  EXPECT_EQ(LongestCommonPrefixLength(a, c), 22);
+}
+
+TEST(Lcp, SpanningPrefixCoversBoth) {
+  Ipv4Address a = Ipv4Address::FromOctets(10, 0, 0, 2);
+  Ipv4Address b = Ipv4Address::FromOctets(10, 0, 0, 125);
+  Prefix span = SpanningPrefix(a, b);
+  EXPECT_TRUE(span.Contains(a));
+  EXPECT_TRUE(span.Contains(b));
+  EXPECT_EQ(span.ToString(), "10.0.0.0/25");
+}
+
+// Property sweep: spanning prefix is the *narrowest* covering prefix.
+class SpanningProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpanningProperty, NarrowestCover) {
+  std::uint64_t seed = GetParam();
+  // Cheap LCG for test-local randomness.
+  auto next = [&seed] {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(seed >> 32);
+  };
+  for (int i = 0; i < 200; ++i) {
+    Ipv4Address a(next());
+    Ipv4Address b(next());
+    Prefix span = SpanningPrefix(a, b);
+    EXPECT_TRUE(span.Contains(a));
+    EXPECT_TRUE(span.Contains(b));
+    if (span.length() < 32) {
+      // One level narrower must fail for at least one of the two.
+      Prefix narrower = Prefix::Of(a, span.length() + 1);
+      EXPECT_FALSE(narrower.Contains(a) && narrower.Contains(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanningProperty,
+                         ::testing::Values(1u, 2u, 3u, 99u, 0xDEADBEEFu));
+
+}  // namespace
+}  // namespace hobbit::netsim

@@ -1,0 +1,141 @@
+#include "netsim/ipv6.h"
+
+#include <gtest/gtest.h>
+
+namespace hobbit::netsim {
+namespace {
+
+TEST(Ipv6Address, ParseFullForm) {
+  auto a = Ipv6Address::Parse("2001:0db8:0000:0000:0000:ff00:0042:8329");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->high(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->low(), 0x0000ff0000428329ULL);
+}
+
+TEST(Ipv6Address, ParseCompressed) {
+  auto a = Ipv6Address::Parse("2001:db8::ff00:42:8329");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->high(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->low(), 0x0000ff0000428329ULL);
+  auto loopback = Ipv6Address::Parse("::1");
+  ASSERT_TRUE(loopback.has_value());
+  EXPECT_EQ(loopback->high(), 0u);
+  EXPECT_EQ(loopback->low(), 1u);
+  auto any = Ipv6Address::Parse("::");
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(*any, Ipv6Address(0, 0));
+  auto trailing = Ipv6Address::Parse("fe80::");
+  ASSERT_TRUE(trailing.has_value());
+  EXPECT_EQ(trailing->high(), 0xfe80000000000000ULL);
+}
+
+TEST(Ipv6Address, ParseEmbeddedIpv4) {
+  auto a = Ipv6Address::Parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->low(), 0x0000ffffc0000201ULL);
+}
+
+TEST(Ipv6Address, ParseRejectsGarbage) {
+  const char* bad[] = {"",
+                       ":",
+                       ":::",
+                       "2001:db8",
+                       "1:2:3:4:5:6:7:8:9",
+                       "1::2::3",
+                       "g::1",
+                       "12345::",
+                       "1:2:3:4:5:6:7:",
+                       "::ffff:999.0.2.1",
+                       "1:2:3:4:5:6:7:8::"};
+  for (const char* text : bad) {
+    EXPECT_FALSE(Ipv6Address::Parse(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv6Address, Rfc5952Formatting) {
+  EXPECT_EQ(Ipv6Address(0, 0).ToString(), "::");
+  EXPECT_EQ(Ipv6Address(0, 1).ToString(), "::1");
+  EXPECT_EQ(Ipv6Address(0x20010db800000000ULL, 0x0000ff0000428329ULL)
+                .ToString(),
+            "2001:db8::ff00:42:8329");
+  // Leftmost longest zero run compresses; a single zero group does not.
+  EXPECT_EQ(Ipv6Address::Parse("2001:db8:0:1:1:1:1:1")->ToString(),
+            "2001:db8:0:1:1:1:1:1");
+  EXPECT_EQ(Ipv6Address::Parse("2001:0:0:1:0:0:0:1")->ToString(),
+            "2001:0:0:1::1");
+  EXPECT_EQ(Ipv6Address::Parse("fe80::")->ToString(), "fe80::");
+}
+
+TEST(Ipv6Address, RoundTrip) {
+  const char* samples[] = {"::",
+                           "::1",
+                           "fe80::1",
+                           "2001:db8::ff00:42:8329",
+                           "2001:0:0:1::1",
+                           "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"};
+  for (const char* text : samples) {
+    auto a = Ipv6Address::Parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    auto again = Ipv6Address::Parse(a->ToString());
+    ASSERT_TRUE(again.has_value()) << a->ToString();
+    EXPECT_EQ(*again, *a) << text;
+  }
+}
+
+TEST(Ipv6Address, OrderingAcrossHalves) {
+  Ipv6Address a(1, 0xFFFFFFFFFFFFFFFFULL);
+  Ipv6Address b(2, 0);
+  EXPECT_LT(a, b);
+}
+
+TEST(Ipv6Prefix, CanonicalizationAndContainment) {
+  auto p = Ipv6Prefix::Parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->Contains(*Ipv6Address::Parse("2001:db8:dead:beef::1")));
+  EXPECT_FALSE(p->Contains(*Ipv6Address::Parse("2001:db9::1")));
+  EXPECT_FALSE(Ipv6Prefix::Parse("2001:db8::1/32").has_value())
+      << "host bits set";
+  EXPECT_FALSE(Ipv6Prefix::Parse("2001:db8::/129").has_value());
+}
+
+TEST(Ipv6Prefix, LengthsCrossingTheHalfBoundary) {
+  auto p96 = Ipv6Prefix::Of(*Ipv6Address::Parse("2001:db8::ffff:0:1"), 96);
+  EXPECT_EQ(p96.base().ToString(), "2001:db8::ffff:0:0");
+  EXPECT_TRUE(p96.Contains(*Ipv6Address::Parse("2001:db8::ffff:0:99")));
+  auto p0 = Ipv6Prefix::Of(*Ipv6Address::Parse("abcd::"), 0);
+  EXPECT_TRUE(p0.Contains(Ipv6Address(~0ULL, ~0ULL)));
+  auto p128 = Ipv6Prefix::Of(*Ipv6Address::Parse("::1"), 128);
+  EXPECT_TRUE(p128.Contains(Ipv6Address(0, 1)));
+  EXPECT_FALSE(p128.Contains(Ipv6Address(0, 2)));
+}
+
+TEST(Ipv6Prefix, Slash64AndNesting) {
+  Ipv6Prefix p = Ipv6Prefix::Slash64Of(
+      *Ipv6Address::Parse("2001:db8:1:2:3:4:5:6"));
+  EXPECT_EQ(p.ToString(), "2001:db8:1:2::/64");
+  Ipv6Prefix parent = *Ipv6Prefix::Parse("2001:db8::/32");
+  EXPECT_TRUE(parent.Contains(p));
+  EXPECT_FALSE(p.Contains(parent));
+  EXPECT_TRUE(p.DisjointFrom(*Ipv6Prefix::Parse("2001:db8:1:3::/64")));
+}
+
+TEST(Ipv6Lcp, AcrossHalves) {
+  Ipv6Address a = *Ipv6Address::Parse("2001:db8::1");
+  EXPECT_EQ(LongestCommonPrefixLength(a, a), 128);
+  Ipv6Address b = *Ipv6Address::Parse("2001:db8::2");
+  EXPECT_EQ(LongestCommonPrefixLength(a, b), 126);
+  Ipv6Address c = *Ipv6Address::Parse("3001:db8::1");
+  EXPECT_EQ(LongestCommonPrefixLength(a, c), 3);
+}
+
+TEST(Ipv6Lcp, SpanningPrefixCovers) {
+  Ipv6Address a = *Ipv6Address::Parse("2001:db8:0:1::1");
+  Ipv6Address b = *Ipv6Address::Parse("2001:db8:0:2::1");
+  Ipv6Prefix span = SpanningPrefix(a, b);
+  EXPECT_TRUE(span.Contains(a));
+  EXPECT_TRUE(span.Contains(b));
+  EXPECT_EQ(span.length(), 62);
+}
+
+}  // namespace
+}  // namespace hobbit::netsim

@@ -1,0 +1,110 @@
+#include "hobbit/ipv6_pilot.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/rng.h"
+
+namespace hobbit::core {
+namespace {
+
+netsim::Ipv6Address V6(const char* text) {
+  auto a = netsim::Ipv6Address::Parse(text);
+  return a ? *a : netsim::Ipv6Address(0, 0);
+}
+
+Ipv6Observation Obs(const char* address, const char* router) {
+  return {V6(address), {V6(router)}};
+}
+
+TEST(Ipv6Pilot, SingleLastHopIsHomogeneous) {
+  std::vector<Ipv6Observation> observations = {
+      Obs("2001:db8:1:2::10", "fe80::1"),
+      Obs("2001:db8:1:2::900", "fe80::1"),
+      Obs("2001:db8:1:2:8000::1", "fe80::1"),
+      Obs("2001:db8:1:2:ffff::9", "fe80::1")};
+  EXPECT_TRUE(HobbitSaysHomogeneous6(observations));
+}
+
+TEST(Ipv6Pilot, InterleavedLoadBalancingIsHomogeneous) {
+  std::vector<Ipv6Observation> observations = {
+      Obs("2001:db8:1:2::1", "fe80::a"),
+      Obs("2001:db8:1:2::2", "fe80::b"),
+      Obs("2001:db8:1:2::3", "fe80::a"),
+      Obs("2001:db8:1:2::4", "fe80::b")};
+  EXPECT_TRUE(HobbitSaysHomogeneous6(observations));
+}
+
+TEST(Ipv6Pilot, CleanSplitAcrossTheSlash65IsHierarchical) {
+  // Two route entries: lower and upper half of the /64.
+  std::vector<Ipv6Observation> observations = {
+      Obs("2001:db8:1:2::1", "fe80::a"),
+      Obs("2001:db8:1:2::ffff", "fe80::a"),
+      Obs("2001:db8:1:2:8000::1", "fe80::b"),
+      Obs("2001:db8:1:2:ffff::1", "fe80::b")};
+  auto groups = GroupByLastHop6(observations);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_TRUE(GroupsAreHierarchical6(groups));
+  EXPECT_FALSE(HobbitSaysHomogeneous6(observations));
+}
+
+TEST(Ipv6Pilot, CommonLastHopAcrossMultiSets) {
+  std::vector<Ipv6Observation> observations = {
+      {V6("2001:db8::1"), {V6("fe80::a"), V6("fe80::b")}},
+      {V6("2001:db8::2"), {V6("fe80::a")}},
+      {V6("2001:db8:0:0:8000::3"), {V6("fe80::a"), V6("fe80::c")}}};
+  EXPECT_TRUE(HaveCommonLastHop6(observations));
+  EXPECT_TRUE(HobbitSaysHomogeneous6(observations));
+}
+
+TEST(Ipv6Pilot, EmptyIsNotHomogeneous) {
+  EXPECT_FALSE(HobbitSaysHomogeneous6({}));
+}
+
+TEST(Ipv6Pilot, GroupRangesUseFullWidthOrdering) {
+  // Addresses differing only in the low 64 bits must order correctly
+  // (exercises the high/low comparison path).
+  std::vector<Ipv6Observation> observations = {
+      Obs("2001:db8::ffff:ffff:ffff:ffff", "fe80::a"),
+      Obs("2001:db8:0:1::", "fe80::a")};
+  auto groups = GroupByLastHop6(observations);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].min, V6("2001:db8::ffff:ffff:ffff:ffff"));
+  EXPECT_EQ(groups[0].max, V6("2001:db8:0:1::"));
+}
+
+// First-passage property over synthetic per-destination balancing in a
+// /64: interleaved assignment must be recognized for the vast majority of
+// random draws, split assignment must not.
+class Ipv6PilotProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Ipv6PilotProperty, BalancedVsSplitVerdicts) {
+  netsim::Rng rng(GetParam());
+  int balanced_homogeneous = 0, split_homogeneous = 0;
+  constexpr int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<Ipv6Observation> balanced, split;
+    for (int i = 0; i < 24; ++i) {
+      auto iid = rng.Next();
+      netsim::Ipv6Address address(0x20010db800010002ULL, iid);
+      // Balanced: hash-interleaved across 3 gateways.
+      balanced.push_back(
+          {address,
+           {netsim::Ipv6Address(0xfe80000000000000ULL, 0xa + iid % 3)}});
+      // Split: routed by the top bit of the interface identifier.
+      split.push_back(
+          {address,
+           {netsim::Ipv6Address(0xfe80000000000000ULL,
+                                0x100 + (iid >> 63))}});
+    }
+    balanced_homogeneous += HobbitSaysHomogeneous6(balanced);
+    split_homogeneous += HobbitSaysHomogeneous6(split);
+  }
+  EXPECT_GT(balanced_homogeneous, kTrials * 7 / 10);
+  EXPECT_LT(split_homogeneous, kTrials / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Ipv6PilotProperty,
+                         ::testing::Values(1, 7, 19));
+
+}  // namespace
+}  // namespace hobbit::core

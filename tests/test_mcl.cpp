@@ -1,0 +1,169 @@
+#include "cluster/mcl.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "netsim/rng.h"
+
+namespace hobbit::cluster {
+namespace {
+
+/// Two 4-cliques joined by a single weak edge — the canonical MCL demo.
+Graph TwoCliques(double bridge_weight = 0.1) {
+  Graph g;
+  g.vertex_count = 8;
+  auto clique = [&g](std::uint32_t base) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      for (std::uint32_t j = i + 1; j < 4; ++j) {
+        g.edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+  };
+  clique(0);
+  clique(4);
+  g.edges.push_back({3, 4, bridge_weight});
+  return g;
+}
+
+std::set<std::set<std::uint32_t>> AsSets(const MclResult& result) {
+  std::set<std::set<std::uint32_t>> out;
+  for (const auto& cluster : result.clusters) {
+    out.insert(std::set<std::uint32_t>(cluster.begin(), cluster.end()));
+  }
+  return out;
+}
+
+TEST(Mcl, SeparatesTwoCliques) {
+  MclResult result = RunMcl(TwoCliques());
+  auto sets = AsSets(result);
+  EXPECT_TRUE(sets.count({0, 1, 2, 3}));
+  EXPECT_TRUE(sets.count({4, 5, 6, 7}));
+  EXPECT_EQ(result.clusters.size(), 2u);
+}
+
+TEST(Mcl, EveryVertexInExactlyOneCluster) {
+  MclResult result = RunMcl(TwoCliques());
+  std::vector<int> seen(8, 0);
+  for (const auto& cluster : result.clusters) {
+    for (std::uint32_t v : cluster) ++seen[v];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Mcl, EmptyGraph) {
+  Graph g;
+  MclResult result = RunMcl(g);
+  EXPECT_TRUE(result.clusters.empty());
+}
+
+TEST(Mcl, IsolatedVerticesBecomeSingletons) {
+  Graph g;
+  g.vertex_count = 3;
+  g.edges.push_back({0, 1, 1.0});
+  MclResult result = RunMcl(g);
+  auto sets = AsSets(result);
+  EXPECT_TRUE(sets.count({0, 1}));
+  EXPECT_TRUE(sets.count({2}));
+  EXPECT_EQ(result.NontrivialCount(), 1u);
+}
+
+TEST(Mcl, HigherInflationGivesFinerClusters) {
+  // A 6-ring: low inflation keeps it together (or few clusters), high
+  // inflation shatters it into more clusters.
+  Graph ring;
+  ring.vertex_count = 6;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ring.edges.push_back({i, (i + 1) % 6, 1.0});
+  }
+  MclParams coarse;
+  coarse.inflation = 1.3;
+  MclParams fine;
+  fine.inflation = 6.0;
+  std::size_t coarse_count = RunMcl(ring, coarse).clusters.size();
+  std::size_t fine_count = RunMcl(ring, fine).clusters.size();
+  EXPECT_LE(coarse_count, fine_count);
+  EXPECT_GT(fine_count, 1u);
+}
+
+TEST(Mcl, SelfLoopsOnlyGraphIsAllSingletons) {
+  Graph g;
+  g.vertex_count = 4;  // no edges at all
+  MclResult result = RunMcl(g);
+  EXPECT_EQ(result.clusters.size(), 4u);
+  EXPECT_EQ(result.NontrivialCount(), 0u);
+}
+
+TEST(Mcl, DeterministicAcrossRuns) {
+  Graph g = TwoCliques(0.4);
+  MclResult a = RunMcl(g);
+  MclResult b = RunMcl(g);
+  EXPECT_EQ(AsSets(a), AsSets(b));
+}
+
+TEST(Mcl, ConvergesWithinBudget) {
+  MclResult result = RunMcl(TwoCliques());
+  EXPECT_LT(result.iterations, 64);
+  EXPECT_GT(result.iterations, 1);
+}
+
+TEST(SweepInflation, PicksCandidateMinimizingBadEdges) {
+  Graph g = TwoCliques(0.05);
+  const double candidates[] = {1.2, 2.0, 4.0};
+  SweepOutcome outcome = SweepInflation(g, candidates);
+  EXPECT_EQ(outcome.tried.size(), 3u);
+  // The chosen inflation must actually be one of the candidates and carry
+  // the minimal ratio.
+  double best = 2.0;
+  double best_ratio = 2.0;
+  for (auto& [inflation, ratio] : outcome.tried) {
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best = inflation;
+    }
+  }
+  EXPECT_DOUBLE_EQ(outcome.best_inflation, best);
+  EXPECT_DOUBLE_EQ(outcome.best_bad_edge_ratio, best_ratio);
+}
+
+TEST(SweepInflation, EmptyGraphIsSafe) {
+  Graph g;
+  const double candidates[] = {2.0};
+  SweepOutcome outcome = SweepInflation(g, candidates);
+  EXPECT_TRUE(outcome.tried.empty());
+}
+
+// Property: on random graphs, MCL always returns a partition of the
+// vertex set.
+class MclPartitionProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MclPartitionProperty, AlwaysAPartition) {
+  netsim::Rng rng(GetParam());
+  Graph g;
+  g.vertex_count = 20 + static_cast<std::uint32_t>(rng.NextBelow(20));
+  for (std::uint32_t i = 0; i < g.vertex_count; ++i) {
+    for (std::uint32_t j = i + 1; j < g.vertex_count; ++j) {
+      if (rng.NextBool(0.1)) g.edges.push_back({i, j, rng.NextUnit()});
+    }
+  }
+  MclResult result = RunMcl(g);
+  std::vector<int> seen(g.vertex_count, 0);
+  for (const auto& cluster : result.clusters) {
+    EXPECT_FALSE(cluster.empty());
+    for (std::uint32_t v : cluster) {
+      ASSERT_LT(v, g.vertex_count);
+      ++seen[v];
+    }
+  }
+  for (std::uint32_t v = 0; v < g.vertex_count; ++v) {
+    EXPECT_EQ(seen[v], 1) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MclPartitionProperty,
+                         ::testing::Values(1, 5, 9, 13, 21, 101));
+
+}  // namespace
+}  // namespace hobbit::cluster

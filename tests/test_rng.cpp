@@ -1,0 +1,123 @@
+#include "netsim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hobbit::netsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UnitRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UnitIsRoughlyUniform) {
+  Rng rng(123);
+  int buckets[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++buckets[static_cast<int>(rng.NextUnit() * 10)];
+  }
+  for (int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(13);
+  int yes = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) yes += rng.NextBool(0.3);
+  EXPECT_NEAR(yes / static_cast<double>(kDraws), 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(17);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += child_a.Next() == child_b.Next();
+  EXPECT_LT(equal, 2);
+  // Forking does not disturb the parent stream.
+  Rng parent2(17);
+  parent2.Fork(1);
+  Rng parent3(17);
+  EXPECT_EQ(parent2.Next(), parent3.Next());
+}
+
+TEST(StableHash, DeterministicAndOrderSensitive) {
+  EXPECT_EQ(StableHash({1, 2, 3}), StableHash({1, 2, 3}));
+  EXPECT_NE(StableHash({1, 2, 3}), StableHash({3, 2, 1}));
+  EXPECT_NE(StableHash({1}), StableHash({1, 0}));
+}
+
+TEST(StableHash, UnitMappingRange) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    double u = HashToUnit(StableHash({i}));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Mix64, Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  constexpr int kTrials = 256;
+  for (std::uint64_t x = 0; x < kTrials; ++x) {
+    std::uint64_t h = Mix64(x);
+    std::uint64_t h2 = Mix64(x ^ 1);
+    total_flips += __builtin_popcountll(h ^ h2);
+  }
+  double mean_flips = total_flips / static_cast<double>(kTrials);
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+}  // namespace
+}  // namespace hobbit::netsim

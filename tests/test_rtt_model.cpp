@@ -1,0 +1,112 @@
+#include "netsim/rtt_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hobbit::netsim {
+namespace {
+
+using test::Addr;
+
+Subnet MakeSubnet(SubnetKind kind, double base_rtt = 40.0) {
+  Subnet s;
+  s.prefix = *Prefix::Parse("20.0.0.0/24");
+  s.kind = kind;
+  s.base_rtt_ms = base_rtt;
+  return s;
+}
+
+TEST(RttModel, EchoRttAboveBase) {
+  RttModelConfig config;
+  config.seed = 1;
+  RttModel model(config);
+  Subnet subnet = MakeSubnet(SubnetKind::kResidential);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    double rtt = model.EchoRtt(Ipv4Address(i), subnet, 10, 1, 0);
+    EXPECT_GT(rtt, subnet.base_rtt_ms);
+    EXPECT_LT(rtt, subnet.base_rtt_ms + 100.0);
+  }
+}
+
+TEST(RttModel, DeterministicPerProbe) {
+  RttModelConfig config;
+  config.seed = 2;
+  RttModel model(config);
+  Subnet subnet = MakeSubnet(SubnetKind::kResidential);
+  EXPECT_DOUBLE_EQ(model.EchoRtt(Addr("20.0.0.1"), subnet, 10, 3, 7),
+                   model.EchoRtt(Addr("20.0.0.1"), subnet, 10, 3, 7));
+}
+
+TEST(RttModel, CellularFirstProbePaysWakeup) {
+  RttModelConfig config;
+  config.seed = 3;
+  config.cellular_radio_active_probability = 0.0;  // always asleep
+  RttModel model(config);
+  Subnet cellular = MakeSubnet(SubnetKind::kCellular);
+  int big_delta = 0;
+  constexpr int kHosts = 200;
+  for (std::uint32_t i = 0; i < kHosts; ++i) {
+    Ipv4Address address(Addr("20.0.0.0").value() + i);
+    double first = model.EchoRtt(address, cellular, 10, 0, 5);
+    double second = model.EchoRtt(address, cellular, 10, 1, 5);
+    EXPECT_GT(first, second);
+    big_delta += (first - second) > 250.0;
+  }
+  EXPECT_EQ(big_delta, kHosts) << "wakeup minimum is 250 ms";
+}
+
+TEST(RttModel, CellularLaterProbesAreNormal) {
+  RttModelConfig config;
+  config.seed = 4;
+  RttModel model(config);
+  Subnet cellular = MakeSubnet(SubnetKind::kCellular, 50.0);
+  double later = model.EchoRtt(Addr("20.0.0.9"), cellular, 10, 5, 5);
+  EXPECT_LT(later, 150.0);
+}
+
+TEST(RttModel, NonCellularFirstProbeHasNoWakeup) {
+  RttModelConfig config;
+  config.seed = 5;
+  config.cellular_radio_active_probability = 0.0;
+  RttModel model(config);
+  for (SubnetKind kind : {SubnetKind::kResidential, SubnetKind::kBusiness,
+                          SubnetKind::kDatacenter, SubnetKind::kHosting}) {
+    Subnet subnet = MakeSubnet(kind);
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      Ipv4Address address(Addr("20.0.0.0").value() + i);
+      double first = model.EchoRtt(address, subnet, 10, 0, 9);
+      EXPECT_LT(first, subnet.base_rtt_ms + 100.0);
+    }
+  }
+}
+
+TEST(RttModel, SomeCellularRadiosAreAlreadyActive) {
+  RttModelConfig config;
+  config.seed = 6;
+  config.cellular_radio_active_probability = 0.5;
+  RttModel model(config);
+  Subnet cellular = MakeSubnet(SubnetKind::kCellular);
+  int active = 0;
+  constexpr int kHosts = 400;
+  for (std::uint32_t i = 0; i < kHosts; ++i) {
+    Ipv4Address address(Addr("20.0.0.0").value() + i);
+    double first = model.EchoRtt(address, cellular, 10, 0, 2);
+    double second = model.EchoRtt(address, cellular, 10, 1, 2);
+    active += (first - second) < 200.0;
+  }
+  EXPECT_NEAR(active / static_cast<double>(kHosts), 0.5, 0.1);
+}
+
+TEST(RttModel, RouterRttGrowsWithHopCount) {
+  RttModelConfig config;
+  config.seed = 7;
+  config.jitter_scale_ms = 0.0;
+  RttModel model(config);
+  double near_rtt = model.RouterRtt(Addr("10.0.0.1"), 2, 1);
+  double far_rtt = model.RouterRtt(Addr("10.0.0.1"), 20, 1);
+  EXPECT_LT(near_rtt, far_rtt);
+}
+
+}  // namespace
+}  // namespace hobbit::netsim

@@ -1,0 +1,126 @@
+#include "cluster/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/rng.h"
+
+namespace hobbit::cluster {
+namespace {
+
+using Triplet = SparseMatrix::Triplet;
+
+std::vector<std::vector<double>> ToDense(const SparseMatrix& m) {
+  std::vector<std::vector<double>> dense(
+      m.size(), std::vector<double>(m.size(), 0.0));
+  for (std::uint32_t c = 0; c < m.size(); ++c) {
+    auto col = m.Column(c);
+    for (std::size_t i = 0; i < col.count; ++i) {
+      dense[col.rows[i]][c] = col.values[i];
+    }
+  }
+  return dense;
+}
+
+TEST(SparseMatrix, FromTripletsSumsDuplicates) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, {{0, 1, 2.0}, {0, 1, 3.0}, {2, 0, 1.0}});
+  EXPECT_EQ(m.nonzeros(), 2u);
+  auto dense = ToDense(m);
+  EXPECT_DOUBLE_EQ(dense[0][1], 5.0);
+  EXPECT_DOUBLE_EQ(dense[2][0], 1.0);
+}
+
+TEST(SparseMatrix, ColumnsAreSortedByRow) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      4, {{3, 0, 1.0}, {1, 0, 1.0}, {2, 0, 1.0}});
+  auto col = m.Column(0);
+  ASSERT_EQ(col.count, 3u);
+  EXPECT_LT(col.rows[0], col.rows[1]);
+  EXPECT_LT(col.rows[1], col.rows[2]);
+}
+
+TEST(SparseMatrix, NormalizeColumnsMakesStochastic) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, {{0, 0, 2.0}, {1, 0, 6.0}, {0, 1, 5.0}});
+  m.NormalizeColumns();
+  auto dense = ToDense(m);
+  EXPECT_DOUBLE_EQ(dense[0][0], 0.25);
+  EXPECT_DOUBLE_EQ(dense[1][0], 0.75);
+  EXPECT_DOUBLE_EQ(dense[0][1], 1.0);
+}
+
+TEST(SparseMatrix, InflateSharpensColumns) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, {{0, 0, 0.75}, {1, 0, 0.25}});
+  m.Inflate(2.0);
+  auto dense = ToDense(m);
+  // 0.75^2 : 0.25^2 = 9 : 1.
+  EXPECT_NEAR(dense[0][0], 0.9, 1e-12);
+  EXPECT_NEAR(dense[1][0], 0.1, 1e-12);
+}
+
+TEST(SparseMatrix, PruneDropsSmallEntries) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, {{0, 0, 0.98}, {1, 0, 0.01}, {2, 0, 0.01}});
+  m.Prune(0.02, 10);
+  auto col = m.Column(0);
+  ASSERT_EQ(col.count, 1u);
+  EXPECT_DOUBLE_EQ(col.values[0], 1.0);  // renormalized
+}
+
+TEST(SparseMatrix, PruneKeepsTopK) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      4, {{0, 0, 0.4}, {1, 0, 0.3}, {2, 0, 0.2}, {3, 0, 0.1}});
+  m.Prune(0.0, 2);
+  auto col = m.Column(0);
+  ASSERT_EQ(col.count, 2u);
+  EXPECT_EQ(col.rows[0], 0u);
+  EXPECT_EQ(col.rows[1], 1u);
+  EXPECT_NEAR(col.values[0] + col.values[1], 1.0, 1e-12);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDenseReference) {
+  netsim::Rng rng(31);
+  constexpr std::uint32_t kN = 12;
+  std::vector<Triplet> ta, tb;
+  for (std::uint32_t c = 0; c < kN; ++c) {
+    for (std::uint32_t r = 0; r < kN; ++r) {
+      if (rng.NextBool(0.3)) ta.push_back({r, c, rng.NextUnit()});
+      if (rng.NextBool(0.3)) tb.push_back({r, c, rng.NextUnit()});
+    }
+  }
+  SparseMatrix a = SparseMatrix::FromTriplets(kN, ta);
+  SparseMatrix b = SparseMatrix::FromTriplets(kN, tb);
+  auto da = ToDense(a);
+  auto db = ToDense(b);
+  auto dc = ToDense(a.Multiply(b));
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    for (std::uint32_t j = 0; j < kN; ++j) {
+      double want = 0;
+      for (std::uint32_t k = 0; k < kN; ++k) want += da[i][k] * db[k][j];
+      EXPECT_NEAR(dc[i][j], want, 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(SparseMatrix, ChaosZeroForIdempotentColumns) {
+  // A column with a single 1.0 entry is converged (max == sum of squares).
+  SparseMatrix m = SparseMatrix::FromTriplets(2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_NEAR(m.Chaos(), 0.0, 1e-12);
+  // An uneven, non-converged column: max 0.5, sum of squares 0.38.
+  SparseMatrix spread = SparseMatrix::FromTriplets(
+      3, {{0, 0, 0.5}, {1, 0, 0.3}, {2, 0, 0.2}});
+  EXPECT_NEAR(spread.Chaos(), 0.12, 1e-12);
+}
+
+TEST(SparseMatrix, MaxDifference) {
+  SparseMatrix a = SparseMatrix::FromTriplets(2, {{0, 0, 0.6}, {1, 0, 0.4}});
+  SparseMatrix b = SparseMatrix::FromTriplets(2, {{0, 0, 0.5}, {1, 1, 0.2}});
+  EXPECT_NEAR(a.MaxDifference(b), 0.4, 1e-12);  // the (1,0) entry
+  EXPECT_NEAR(a.MaxDifference(a), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hobbit::cluster

@@ -1,0 +1,113 @@
+#include "analysis/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/report.h"
+
+namespace hobbit::analysis {
+namespace {
+
+TEST(Ecdf, AtAndQuantiles) {
+  Ecdf ecdf({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(ecdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.At(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.At(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.At(99.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(ecdf.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(ecdf.Mean(), 2.5);
+}
+
+TEST(Ecdf, EmptyIsSafe) {
+  Ecdf ecdf;
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_DOUBLE_EQ(ecdf.At(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Mean(), 0.0);
+}
+
+TEST(Ecdf, MonotoneNondecreasing) {
+  Ecdf ecdf({5, 3, 8, 1, 9, 2, 2, 7});
+  double prev = -1;
+  for (double x = 0; x <= 10; x += 0.25) {
+    double cur = ecdf.At(x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Log2Histogram, BucketsByPowerOfTwo) {
+  std::vector<std::size_t> sizes = {1, 1, 2, 3, 4, 7, 8, 1024};
+  Log2Histogram h = Log2Histogram::Of(sizes);
+  ASSERT_EQ(h.counts.size(), 11u);
+  EXPECT_EQ(h.counts[0], 2u);   // size 1
+  EXPECT_EQ(h.counts[1], 2u);   // 2..3
+  EXPECT_EQ(h.counts[2], 2u);   // 4..7
+  EXPECT_EQ(h.counts[3], 1u);   // 8..15
+  EXPECT_EQ(h.counts[10], 1u);  // 1024
+}
+
+TEST(Log2Histogram, IgnoresZeros) {
+  std::vector<std::size_t> sizes = {0, 0, 1};
+  Log2Histogram h = Log2Histogram::Of(sizes);
+  ASSERT_EQ(h.counts.size(), 1u);
+  EXPECT_EQ(h.counts[0], 1u);
+}
+
+TEST(RequiredSampleSize, ReproducesThePapers16588) {
+  // 99 % confidence, 1 % margin, p = 0.5 (paper footnote 6; the exact
+  // value depends on z rounding — the ceiling lands within a few samples
+  // of the paper's 16,588).
+  int n = RequiredSampleSize(kZ99, 0.01, 0.5);
+  EXPECT_NEAR(n, 16588, 3);
+}
+
+TEST(RequiredSampleSize, ShrinksWithWiderMargin) {
+  EXPECT_LT(RequiredSampleSize(kZ99, 0.05), RequiredSampleSize(kZ99, 0.01));
+}
+
+TEST(Report, FmtAndPct) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+  EXPECT_EQ(Pct(0.342), "34.2%");
+}
+
+TEST(Report, TextTableAlignsColumns) {
+  TextTable table({"Name", "Count"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header separator before first data row.
+  EXPECT_LT(out.find("Name"), out.find("alpha"));
+}
+
+TEST(Report, CdfSummaryMentionsQuantiles) {
+  std::ostringstream os;
+  PrintCdfSummary(os, "demo", Ecdf({1, 2, 3, 4, 5}));
+  std::string out = os.str();
+  EXPECT_NE(out.find("p50="), std::string::npos);
+  EXPECT_NE(out.find("n=5"), std::string::npos);
+}
+
+TEST(Report, Log2HistogramPrint) {
+  std::ostringstream os;
+  PrintLog2Histogram(os, "sizes",
+                     Log2Histogram::Of(std::vector<std::size_t>{1, 2, 2}));
+  std::string out = os.str();
+  EXPECT_NE(out.find("[2^ 0, 2^ 1"), std::string::npos);
+  EXPECT_NE(out.find("[2^ 1, 2^ 2"), std::string::npos);
+  EXPECT_NE(out.find("##"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hobbit::analysis

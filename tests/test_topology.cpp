@@ -1,0 +1,142 @@
+#include "netsim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netsim/rng.h"
+#include "test_util.h"
+
+namespace hobbit::netsim {
+namespace {
+
+using test::Addr;
+using test::Pfx;
+
+TEST(Fib, LongestPrefixWins) {
+  Fib fib;
+  fib.AddSingle(Pfx("0.0.0.0/0"), 1);
+  fib.AddSingle(Pfx("10.0.0.0/8"), 2);
+  fib.AddSingle(Pfx("10.1.0.0/16"), 3);
+  fib.AddSingle(Pfx("10.1.2.0/24"), 4);
+
+  EXPECT_EQ(fib.Lookup(Addr("10.1.2.3"))->next_hops.front(), 4u);
+  EXPECT_EQ(fib.Lookup(Addr("10.1.3.3"))->next_hops.front(), 3u);
+  EXPECT_EQ(fib.Lookup(Addr("10.2.0.1"))->next_hops.front(), 2u);
+  EXPECT_EQ(fib.Lookup(Addr("11.0.0.1"))->next_hops.front(), 1u);
+}
+
+TEST(Fib, NoDefaultMeansNoMatch) {
+  Fib fib;
+  fib.AddSingle(Pfx("10.0.0.0/8"), 2);
+  EXPECT_EQ(fib.Lookup(Addr("11.0.0.1")), nullptr);
+}
+
+TEST(Fib, ReplaceExistingEntry) {
+  Fib fib;
+  fib.AddSingle(Pfx("10.0.0.0/8"), 2);
+  fib.AddSingle(Pfx("10.0.0.0/8"), 9);
+  EXPECT_EQ(fib.size(), 1u);
+  EXPECT_EQ(fib.Lookup(Addr("10.5.5.5"))->next_hops.front(), 9u);
+}
+
+TEST(Fib, LookupEntryReturnsPrefix) {
+  Fib fib;
+  fib.AddSingle(Pfx("10.1.2.0/24"), 4);
+  const FibEntry* entry = fib.LookupEntry(Addr("10.1.2.200"));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->prefix, Pfx("10.1.2.0/24"));
+}
+
+TEST(Fib, SiblingPrefixesDoNotLeak) {
+  Fib fib;
+  fib.AddSingle(Pfx("20.0.4.0/26"), 1);
+  fib.AddSingle(Pfx("20.0.4.64/26"), 2);
+  EXPECT_EQ(fib.Lookup(Addr("20.0.4.63"))->next_hops.front(), 1u);
+  EXPECT_EQ(fib.Lookup(Addr("20.0.4.64"))->next_hops.front(), 2u);
+  EXPECT_EQ(fib.Lookup(Addr("20.0.4.128")), nullptr);
+}
+
+// Property: FIB lookup agrees with a brute-force longest-match scan, on
+// randomized tables.
+class FibProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FibProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  Fib fib;
+  std::vector<FibEntry> reference;
+  for (int i = 0; i < 60; ++i) {
+    int length = static_cast<int>(rng.NextInRange(0, 28));
+    Prefix p = Prefix::Of(Ipv4Address(static_cast<std::uint32_t>(rng.Next())),
+                          length);
+    auto hop = static_cast<RouterId>(i);
+    fib.Add(p, EcmpGroup{{hop}, LbPolicy::kPerFlow});
+    // Mirror replacement semantics in the reference copy.
+    bool replaced = false;
+    for (auto& e : reference) {
+      if (e.prefix == p) {
+        e.group.next_hops = {hop};
+        replaced = true;
+      }
+    }
+    if (!replaced) reference.push_back({p, {{hop}, LbPolicy::kPerFlow}});
+  }
+  for (int i = 0; i < 2000; ++i) {
+    Ipv4Address dst(static_cast<std::uint32_t>(rng.Next()));
+    const FibEntry* got = fib.LookupEntry(dst);
+    const FibEntry* want = nullptr;
+    for (const auto& e : reference) {
+      if (e.prefix.Contains(dst) &&
+          (want == nullptr || e.prefix.length() > want->prefix.length())) {
+        want = &e;
+      }
+    }
+    if (want == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(got->prefix, want->prefix);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FibProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 1234));
+
+TEST(Topology, FindSubnetAfterSeal) {
+  test::MiniNet net = test::BuildMiniNet();
+  const Topology& t = net.topology;
+  SubnetId id = t.FindSubnet(Addr("20.0.2.55"));
+  ASSERT_NE(id, kNoSubnet);
+  EXPECT_EQ(t.subnet(id).prefix, Pfx("20.0.2.0/24"));
+  EXPECT_EQ(t.FindSubnet(Addr("21.0.0.1")), kNoSubnet);
+  // The carved /26 resolves to its own subnet.
+  SubnetId carved = t.FindSubnet(Addr("20.0.4.70"));
+  ASSERT_NE(carved, kNoSubnet);
+  EXPECT_EQ(t.subnet(carved).prefix, Pfx("20.0.4.64/26"));
+}
+
+TEST(Topology, SealRejectsOverlap) {
+  Topology t;
+  Subnet a;
+  a.prefix = Pfx("20.0.0.0/24");
+  Subnet b;
+  b.prefix = Pfx("20.0.0.128/25");
+  t.AddSubnet(a);
+  t.AddSubnet(b);
+  EXPECT_THROW(t.Seal(), std::logic_error);
+}
+
+TEST(Topology, SealAcceptsAdjacent) {
+  Topology t;
+  Subnet a;
+  a.prefix = Pfx("20.0.0.0/25");
+  Subnet b;
+  b.prefix = Pfx("20.0.0.128/25");
+  t.AddSubnet(a);
+  t.AddSubnet(b);
+  EXPECT_NO_THROW(t.Seal());
+}
+
+}  // namespace
+}  // namespace hobbit::netsim

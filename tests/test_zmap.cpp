@@ -1,0 +1,87 @@
+#include "probing/zmap.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/internet.h"
+#include "test_util.h"
+
+namespace hobbit::probing {
+namespace {
+
+using test::Pfx;
+
+TEST(Slash26Criterion, RequiresEveryQuarter) {
+  ZmapBlock block;
+  block.prefix = Pfx("20.0.0.0/24");
+  block.active_octets = {1, 65, 129, 193};
+  EXPECT_TRUE(MeetsSlash26Criterion(block));
+  block.active_octets = {1, 2, 3, 65, 129};  // missing the fourth /26
+  EXPECT_FALSE(MeetsSlash26Criterion(block));
+  block.active_octets = {};
+  EXPECT_FALSE(MeetsSlash26Criterion(block));
+  block.active_octets = {0, 64, 128, 192};  // boundary octets
+  EXPECT_TRUE(MeetsSlash26Criterion(block));
+  block.active_octets = {63, 127, 191, 255};
+  EXPECT_TRUE(MeetsSlash26Criterion(block));
+}
+
+TEST(ZmapScan, FindsActiveHostsInTinyInternet) {
+  netsim::Internet internet =
+      netsim::BuildInternet(netsim::TinyConfig(3));
+  ZmapSnapshot snapshot = RunZmapScan(internet, internet.study_24s);
+  EXPECT_GT(snapshot.blocks.size(), 0u);
+  EXPECT_GT(snapshot.ActiveCount(), 0u);
+  // Every reported /24 must be part of the universe.
+  for (const ZmapBlock& block : snapshot.blocks) {
+    EXPECT_NE(internet.TruthOf(block.prefix), nullptr)
+        << block.prefix.ToString();
+  }
+  // Octets are unique and sorted within a block.
+  for (const ZmapBlock& block : snapshot.blocks) {
+    for (std::size_t i = 1; i < block.active_octets.size(); ++i) {
+      EXPECT_LT(block.active_octets[i - 1], block.active_octets[i]);
+    }
+  }
+}
+
+TEST(ZmapScan, SnapshotMatchesHostModel) {
+  netsim::Internet internet =
+      netsim::BuildInternet(netsim::TinyConfig(3));
+  ZmapSnapshot snapshot = RunZmapScan(internet, internet.study_24s);
+  const netsim::HostModel& hosts = internet.simulator->host_model();
+  const ZmapBlock& block = snapshot.blocks.front();
+  for (std::uint32_t octet = 0; octet < 256; ++octet) {
+    netsim::Ipv4Address address(block.prefix.base().value() + octet);
+    netsim::SubnetId subnet_id = internet.topology.FindSubnet(address);
+    ASSERT_NE(subnet_id, netsim::kNoSubnet);
+    bool listed = std::find(block.active_octets.begin(),
+                            block.active_octets.end(),
+                            static_cast<std::uint8_t>(octet)) !=
+                  block.active_octets.end();
+    EXPECT_EQ(listed, hosts.ActiveInSnapshot(
+                          address, internet.topology.subnet(subnet_id)));
+  }
+}
+
+TEST(ZmapScan, SelectStudyBlocksFiltersByCriterion) {
+  netsim::Internet internet =
+      netsim::BuildInternet(netsim::TinyConfig(3));
+  ZmapSnapshot snapshot = RunZmapScan(internet, internet.study_24s);
+  auto study = SelectStudyBlocks(snapshot);
+  EXPECT_LT(study.size(), snapshot.blocks.size());
+  for (const ZmapBlock& block : study) {
+    EXPECT_TRUE(MeetsSlash26Criterion(block));
+  }
+}
+
+TEST(ZmapScan, DeterministicAcrossRuns) {
+  netsim::Internet internet =
+      netsim::BuildInternet(netsim::TinyConfig(3));
+  ZmapSnapshot a = RunZmapScan(internet, internet.study_24s);
+  ZmapSnapshot b = RunZmapScan(internet, internet.study_24s);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  EXPECT_EQ(a.ActiveCount(), b.ActiveCount());
+}
+
+}  // namespace
+}  // namespace hobbit::probing

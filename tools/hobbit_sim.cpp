@@ -1,0 +1,370 @@
+// hobbit_sim — command-line driver for the whole library.
+//
+// The synthetic Internet is deterministic in (seed, scale), so every
+// subcommand regenerates the world it needs; measurement artifacts are
+// exchanged through the text formats in hobbit/resultio.h and
+// cluster/blockio.h.
+//
+//   hobbit_sim generate   [--seed N] [--scale S]
+//   hobbit_sim measure    [--seed N] [--scale S] [--threads T]
+//                         [--results FILE] [--blocks FILE] [--mcl]
+//   hobbit_sim classify   <prefix/24> [--seed N] [--scale S]
+//   hobbit_sim traceroute <address>   [--seed N] [--scale S] [--mda]
+//   hobbit_sim rdns       <address>   [--seed N] [--scale S]
+//   hobbit_sim whois      <prefix>    [--seed N] [--scale S]
+//   hobbit_sim stats      --results FILE
+//   hobbit_sim lookup     <prefix/24> --blocks FILE
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "cluster/aggregate.h"
+#include "cluster/blockio.h"
+#include "hobbit/hierarchy.h"
+#include "hobbit/pipeline.h"
+#include "hobbit/resultio.h"
+#include "netsim/internet.h"
+#include "netsim/rdns.h"
+#include "probing/traceroute.h"
+
+namespace {
+
+using namespace hobbit;
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& flag) const { return flags.count(flag) > 0; }
+  std::string Get(const std::string& flag,
+                  const std::string& fallback) const {
+    auto pos = flags.find(flag);
+    return pos == flags.end() ? fallback : pos->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      std::string name = token.substr(2);
+      // Boolean flags take no value; value flags consume the next token.
+      if (name == "mcl") {
+        args.flags[name] = "1";
+      } else if (i + 1 < argc) {
+        args.flags[name] = argv[++i];
+      } else {
+        args.flags[name] = "";
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+netsim::Internet BuildWorld(const Args& args) {
+  netsim::InternetConfig config;
+  config.seed = std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+  config.scale = std::atof(args.Get("scale", "0.1").c_str());
+  return netsim::BuildInternet(config);
+}
+
+int Usage() {
+  std::cerr <<
+      "usage: hobbit_sim <command> [args]\n"
+      "  generate   [--seed N] [--scale S]           world summary\n"
+      "  measure    [--seed N] [--scale S] [--threads T]\n"
+      "             [--results FILE] [--blocks FILE] [--mcl]\n"
+      "  classify   <prefix/24> [--seed N] [--scale S]\n"
+      "  traceroute <address> [--seed N] [--scale S] [--mda]\n"
+      "  rdns       <address> [--seed N] [--scale S]\n"
+      "  whois      <prefix>  [--seed N] [--scale S]\n"
+      "  stats      --results FILE\n"
+      "  lookup     <prefix/24> --blocks FILE\n";
+  return 2;
+}
+
+int CmdGenerate(const Args& args) {
+  netsim::Internet internet = BuildWorld(args);
+  std::map<netsim::SubnetKind, std::size_t> kinds;
+  for (std::size_t i = 0; i < internet.topology.subnet_count(); ++i) {
+    ++kinds[internet.topology.subnet(static_cast<netsim::SubnetId>(i))
+                .kind];
+  }
+  std::size_t heterogeneous = 0;
+  for (const auto& truth : internet.truth) {
+    heterogeneous += truth.heterogeneous;
+  }
+  std::cout << "routers:              " << internet.topology.router_count()
+            << "\nsubnets (route entries): "
+            << internet.topology.subnet_count()
+            << "\nstudy /24s:           " << internet.study_24s.size()
+            << "\nheterogeneous /24s:   " << heterogeneous
+            << "\nautonomous systems:   " << internet.registry.as_count()
+            << "\nsubnet kinds:         residential "
+            << kinds[netsim::SubnetKind::kResidential] << ", business "
+            << kinds[netsim::SubnetKind::kBusiness] << ", datacenter "
+            << kinds[netsim::SubnetKind::kDatacenter] << ", cellular "
+            << kinds[netsim::SubnetKind::kCellular] << ", hosting "
+            << kinds[netsim::SubnetKind::kHosting] << "\n";
+  return 0;
+}
+
+int CmdMeasure(const Args& args) {
+  netsim::Internet internet = BuildWorld(args);
+  core::PipelineConfig config;
+  config.seed =
+      std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+  config.threads = std::atoi(args.Get("threads", "1").c_str());
+  core::PipelineResult result = core::RunPipeline(internet, config);
+
+  auto counts = result.classification_counts();
+  analysis::TextTable table({"class", "count"});
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    table.AddRow({core::ToString(static_cast<core::Classification>(c)),
+                  std::to_string(counts[c])});
+  }
+  table.Print(std::cout);
+
+  if (args.Has("results")) {
+    std::ofstream out(args.Get("results", ""));
+    if (!out) {
+      std::cerr << "cannot open results file\n";
+      return 1;
+    }
+    core::WriteResults(out, result.results);
+    std::cout << "results -> " << args.Get("results", "") << "\n";
+  }
+  if (args.Has("blocks")) {
+    auto aggregates =
+        cluster::AggregateIdentical(result.HomogeneousBlocks());
+    if (args.Has("mcl")) {
+      auto mcl = cluster::RunMclAggregation(aggregates);
+      cluster::ValidateClusters(internet, result.study_blocks, aggregates,
+                                mcl);
+      aggregates = cluster::MergeValidatedClusters(aggregates, mcl);
+    }
+    std::ofstream out(args.Get("blocks", ""));
+    if (!out) {
+      std::cerr << "cannot open blocks file\n";
+      return 1;
+    }
+    cluster::WriteBlocks(out, aggregates);
+    std::cout << "blocks (" << aggregates.size() << ") -> "
+              << args.Get("blocks", "") << "\n";
+  }
+  return 0;
+}
+
+int CmdClassify(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto prefix = netsim::Prefix::Parse(args.positional[0]);
+  if (!prefix || prefix->length() != 24) {
+    std::cerr << "need a /24 prefix\n";
+    return 2;
+  }
+  netsim::Internet internet = BuildWorld(args);
+  probing::ZmapSnapshot snapshot = probing::RunZmapScan(
+      internet, std::span<const netsim::Prefix>(&*prefix, 1));
+  if (snapshot.blocks.empty()) {
+    std::cout << prefix->ToString() << ": no active addresses\n";
+    return 0;
+  }
+  core::BlockProber prober(internet.simulator.get(), nullptr, {});
+  core::BlockResult result =
+      prober.ProbeBlock(snapshot.blocks.front(), netsim::Rng(1));
+  std::cout << prefix->ToString() << ": "
+            << core::ToString(result.classification) << "\n"
+            << "snapshot-active: " << result.active_in_snapshot
+            << ", usable: " << result.observations.size()
+            << ", probes: " << result.probes_used << "\n";
+  auto groups = core::GroupByLastHop(result.observations);
+  for (const auto& group : groups) {
+    std::cout << "  last hop " << group.router.ToString() << ": "
+              << group.members.size() << " addrs, range ["
+              << group.min.ToString() << ", " << group.max.ToString()
+              << "], span "
+              << netsim::SpanningPrefix(group.min, group.max).ToString()
+              << "\n";
+  }
+  if (groups.size() >= 2) {
+    std::cout << "  hierarchy: "
+              << (core::GroupsAreHierarchical(groups) ? "hierarchical"
+                                                      : "non-hierarchical")
+              << ", aligned-disjoint: "
+              << (core::IsAlignedDisjoint(groups) ? "yes" : "no") << "\n";
+  }
+  const netsim::TruthRecord* truth = internet.TruthOf(*prefix);
+  if (truth != nullptr) {
+    std::cout << "  ground truth: "
+              << (truth->heterogeneous ? "heterogeneous" : "homogeneous")
+              << "\n";
+  }
+  return 0;
+}
+
+int CmdTraceroute(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto address = netsim::Ipv4Address::Parse(args.positional[0]);
+  if (!address) {
+    std::cerr << "bad address\n";
+    return 2;
+  }
+  netsim::Internet internet = BuildWorld(args);
+  std::uint64_t serial = 1;
+  if (args.Has("mda")) {
+    auto routes =
+        probing::EnumerateRoutes(*internet.simulator, *address, serial);
+    std::cout << routes.size() << " distinct route(s)\n";
+    for (std::size_t r = 0; r < routes.size(); ++r) {
+      std::cout << "route " << r + 1 << ":";
+      for (const auto& hop : routes[r].hops) {
+        std::cout << " "
+                  << (hop.responsive ? hop.address.ToString() : "*");
+      }
+      std::cout << "\n";
+    }
+  } else {
+    probing::Route route =
+        probing::ParisTraceroute(*internet.simulator, *address, 1, serial);
+    for (std::size_t h = 0; h < route.hops.size(); ++h) {
+      std::cout << h + 1 << "  "
+                << (route.hops[h].responsive
+                        ? route.hops[h].address.ToString()
+                        : "*")
+                << "\n";
+    }
+    std::cout << (route.reached_destination ? "destination reached"
+                                            : "no reply from destination")
+              << "\n";
+  }
+  return 0;
+}
+
+int CmdRdns(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto address = netsim::Ipv4Address::Parse(args.positional[0]);
+  if (!address) {
+    std::cerr << "bad address\n";
+    return 2;
+  }
+  netsim::Internet internet = BuildWorld(args);
+  auto name =
+      netsim::RdnsName(internet.RdnsSchemeOf(*address), *address);
+  std::cout << address->ToString() << " -> "
+            << (name ? *name : std::string("NXDOMAIN")) << "\n";
+  return 0;
+}
+
+int CmdWhois(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto prefix = netsim::Prefix::Parse(args.positional[0]);
+  if (!prefix) {
+    std::cerr << "bad prefix\n";
+    return 2;
+  }
+  netsim::Internet internet = BuildWorld(args);
+  auto as_index = internet.registry.AsOf(prefix->base());
+  if (as_index) {
+    const auto& info = internet.registry.as_info(*as_index);
+    std::cout << "AS" << info.asn << "  " << info.organization << "  "
+              << info.country << "  " << netsim::ToString(info.type)
+              << "\n";
+  } else {
+    std::cout << "no allocation found\n";
+  }
+  for (const auto& record : internet.registry.WhoisLookup(*prefix)) {
+    std::cout << record.prefix.ToString() << "  "
+              << record.organization_name << "  " << record.network_type
+              << "  " << record.registration_date << "\n";
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  std::ifstream in(args.Get("results", ""));
+  if (!in) {
+    std::cerr << "cannot open --results file\n";
+    return 1;
+  }
+  std::string error;
+  auto records = core::ReadResults(in, &error);
+  if (!records) {
+    std::cerr << "parse error: " << error << "\n";
+    return 1;
+  }
+  std::map<core::Classification, std::size_t> counts;
+  std::uint64_t probes = 0;
+  for (const auto& record : *records) {
+    ++counts[record.classification];
+    probes += static_cast<std::uint64_t>(record.probes_used);
+  }
+  analysis::TextTable table({"class", "count", "share"});
+  for (const auto& [classification, count] : counts) {
+    table.AddRow({core::ToString(classification), std::to_string(count),
+                  analysis::Pct(static_cast<double>(count) /
+                                static_cast<double>(records->size()))});
+  }
+  table.Print(std::cout);
+  std::cout << records->size() << " /24s, " << probes
+            << " probe packets\n";
+  return 0;
+}
+
+int CmdLookup(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto prefix = netsim::Prefix::Parse(args.positional[0]);
+  if (!prefix || prefix->length() != 24) {
+    std::cerr << "need a /24 prefix\n";
+    return 2;
+  }
+  std::ifstream in(args.Get("blocks", ""));
+  if (!in) {
+    std::cerr << "cannot open --blocks file\n";
+    return 1;
+  }
+  std::string error;
+  auto blocks = cluster::ReadBlocks(in, &error);
+  if (!blocks) {
+    std::cerr << "parse error: " << error << "\n";
+    return 1;
+  }
+  cluster::BlockIndex index(*blocks);
+  int block = index.BlockOf(*prefix);
+  if (block < 0) {
+    std::cout << prefix->ToString() << ": not in any block\n";
+    return 0;
+  }
+  const auto& b = (*blocks)[static_cast<std::size_t>(block)];
+  std::cout << prefix->ToString() << ": block " << block << " ("
+            << b.member_24s.size() << " member /24s, "
+            << b.last_hops.size() << " last hops)\n";
+  for (const auto& member : b.member_24s) {
+    std::cout << "  " << member.ToString() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "measure") return CmdMeasure(args);
+  if (args.command == "classify") return CmdClassify(args);
+  if (args.command == "traceroute") return CmdTraceroute(args);
+  if (args.command == "rdns") return CmdRdns(args);
+  if (args.command == "whois") return CmdWhois(args);
+  if (args.command == "stats") return CmdStats(args);
+  if (args.command == "lookup") return CmdLookup(args);
+  return Usage();
+}
