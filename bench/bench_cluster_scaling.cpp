@@ -1,0 +1,100 @@
+// bench_cluster_scaling — wall-time scaling of the clustering half of the
+// pipeline (similarity graph, MCL aggregation, validation reprobing)
+// against the thread count, on the shared seed workload.  The probing half
+// has scaled with threads since the beginning; this records that the
+// post-processing stages now do too, and that results stay bit-identical
+// while they do (any mismatch is reported loudly).
+#include <chrono>
+#include <cstdio>
+
+#include "cluster/aggregate.h"
+#include "common.h"
+#include "common/parallel.h"
+
+namespace {
+
+using namespace hobbit;
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct StageTimes {
+  double graph = 0.0;
+  double mcl = 0.0;
+  double validate = 0.0;
+  double total() const { return graph + mcl + validate; }
+};
+
+StageTimes RunClusteringStage(const bench::World& world,
+                              common::ThreadPool& pool,
+                              cluster::MclAggregationResult* out) {
+  StageTimes times;
+  auto t0 = std::chrono::steady_clock::now();
+  cluster::Graph graph =
+      cluster::BuildSimilarityGraph(world.aggregates, &pool);
+  auto t1 = std::chrono::steady_clock::now();
+  cluster::MclAggregationParams params;
+  params.mcl.pool = &pool;
+  cluster::MclAggregationResult mcl =
+      cluster::RunMclAggregation(world.aggregates, params);
+  auto t2 = std::chrono::steady_clock::now();
+  cluster::ValidationParams validation;
+  validation.pool = &pool;
+  cluster::ValidateClusters(world.internet, world.pipeline.study_blocks,
+                            world.aggregates, mcl, validation);
+  auto t3 = std::chrono::steady_clock::now();
+  times.graph = Seconds(t0, t1);
+  times.mcl = Seconds(t1, t2);
+  times.validate = Seconds(t2, t3);
+  (void)graph;
+  *out = std::move(mcl);
+  return times;
+}
+
+bool SameClustering(const cluster::MclAggregationResult& a,
+                    const cluster::MclAggregationResult& b) {
+  if (a.clusters.size() != b.clusters.size()) return false;
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    if (a.clusters[i].aggregate_ids != b.clusters[i].aggregate_ids ||
+        a.clusters[i].validated_homogeneous !=
+            b.clusters[i].validated_homogeneous) {
+      return false;
+    }
+  }
+  return a.unclustered == b.unclustered;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("cluster-scaling",
+                     "engineering: MCL-stage thread scaling");
+  const bench::World& world = bench::GetWorld();
+  std::printf("aggregates: %zu, clusters input to validation follow\n\n",
+              world.aggregates.size());
+  std::printf("%8s %10s %10s %10s %10s %9s\n", "threads", "graph[s]",
+              "mcl[s]", "valid[s]", "total[s]", "speedup");
+
+  cluster::MclAggregationResult baseline;
+  double baseline_total = 0.0;
+  bool all_identical = true;
+  for (int threads : {1, 2, 4, 8}) {
+    common::ThreadPool pool(threads);
+    cluster::MclAggregationResult result;
+    StageTimes times = RunClusteringStage(world, pool, &result);
+    if (threads == 1) {
+      baseline = std::move(result);
+      baseline_total = times.total();
+    } else if (!SameClustering(result, baseline)) {
+      all_identical = false;
+    }
+    std::printf("%8d %10.3f %10.3f %10.3f %10.3f %8.2fx\n", threads,
+                times.graph, times.mcl, times.validate, times.total(),
+                baseline_total / times.total());
+  }
+  std::printf("\nclustering results across thread counts: %s\n",
+              all_identical ? "bit-identical" : "MISMATCH (bug!)");
+  return all_identical ? 0 : 1;
+}

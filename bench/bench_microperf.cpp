@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cluster/mcl.h"
+#include "common/parallel.h"
 #include "hobbit/hierarchy.h"
 #include "netsim/internet.h"
 #include "netsim/rng.h"
@@ -99,6 +100,27 @@ void BM_MclTwoCliques(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MclTwoCliques)->Arg(8)->Arg(32);
+
+void BM_MclParallel(benchmark::State& state) {
+  // The MCL expansion/inflation loop on a chunky random graph, under the
+  // shared deterministic thread pool.  Arg = thread count; results are
+  // bit-identical across counts, only the wall time moves.
+  netsim::Rng rng(7);
+  cluster::Graph g;
+  g.vertex_count = 512;
+  for (std::uint32_t i = 0; i < g.vertex_count; ++i) {
+    for (std::uint32_t j = i + 1; j < g.vertex_count; ++j) {
+      if (rng.NextBool(0.04)) g.edges.push_back({i, j, rng.NextUnit()});
+    }
+  }
+  common::ThreadPool pool(static_cast<int>(state.range(0)));
+  cluster::MclParams params;
+  params.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::RunMcl(g, params));
+  }
+}
+BENCHMARK(BM_MclParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_ZmapScanPerBlock(benchmark::State& state) {
   const netsim::Internet& internet = SharedInternet();

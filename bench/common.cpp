@@ -6,6 +6,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "common/parallel.h"
+
 namespace hobbit::bench {
 namespace {
 
@@ -36,10 +38,12 @@ World BuildWorld() {
   config.scale = world.scale;
   world.internet = netsim::BuildInternet(config);
 
+  // One pool serves every stage: probing, MCL clustering, validation.
+  common::ThreadPool pool(static_cast<int>(
+      std::min(8u, std::max(1u, std::thread::hardware_concurrency()))));
   core::PipelineConfig pipeline_config;
   pipeline_config.seed = world.seed;
-  pipeline_config.threads = static_cast<int>(
-      std::min(8u, std::max(1u, std::thread::hardware_concurrency())));
+  pipeline_config.pool = &pool;
   pipeline_config.calibration_blocks =
       std::max(200, static_cast<int>(1200 * world.scale));
   pipeline_config.samples_per_block = 64;
@@ -47,9 +51,13 @@ World BuildWorld() {
 
   world.homogeneous = world.pipeline.HomogeneousBlocks();
   world.aggregates = cluster::AggregateIdentical(world.homogeneous);
-  world.mcl = cluster::RunMclAggregation(world.aggregates);
+  cluster::MclAggregationParams mcl_params;
+  mcl_params.mcl.pool = &pool;
+  world.mcl = cluster::RunMclAggregation(world.aggregates, mcl_params);
+  cluster::ValidationParams validation;
+  validation.pool = &pool;
   cluster::ValidateClusters(world.internet, world.pipeline.study_blocks,
-                            world.aggregates, world.mcl);
+                            world.aggregates, world.mcl, validation);
   world.final_blocks =
       cluster::MergeValidatedClusters(world.aggregates, world.mcl);
 

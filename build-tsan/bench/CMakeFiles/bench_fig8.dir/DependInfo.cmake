@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8.cpp" "bench/CMakeFiles/bench_fig8.dir/bench_fig8.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8.dir/bench_fig8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hobbit/CMakeFiles/hobbit_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/probing/CMakeFiles/probing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

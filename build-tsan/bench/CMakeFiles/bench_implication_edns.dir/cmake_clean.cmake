@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_implication_edns.dir/bench_implication_edns.cpp.o"
+  "CMakeFiles/bench_implication_edns.dir/bench_implication_edns.cpp.o.d"
+  "bench_implication_edns"
+  "bench_implication_edns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_implication_edns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

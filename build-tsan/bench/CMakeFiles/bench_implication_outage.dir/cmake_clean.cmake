@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_implication_outage.dir/bench_implication_outage.cpp.o"
+  "CMakeFiles/bench_implication_outage.dir/bench_implication_outage.cpp.o.d"
+  "bench_implication_outage"
+  "bench_implication_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_implication_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

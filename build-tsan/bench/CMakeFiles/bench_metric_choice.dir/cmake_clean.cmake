@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metric_choice.dir/bench_metric_choice.cpp.o"
+  "CMakeFiles/bench_metric_choice.dir/bench_metric_choice.cpp.o.d"
+  "bench_metric_choice"
+  "bench_metric_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metric_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

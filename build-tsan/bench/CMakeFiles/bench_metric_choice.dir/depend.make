@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_metric_choice.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multivantage.dir/bench_multivantage.cpp.o"
+  "CMakeFiles/bench_multivantage.dir/bench_multivantage.cpp.o.d"
+  "bench_multivantage"
+  "bench_multivantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multivantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

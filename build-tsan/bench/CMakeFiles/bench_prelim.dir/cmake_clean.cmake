@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prelim.dir/bench_prelim.cpp.o"
+  "CMakeFiles/bench_prelim.dir/bench_prelim.cpp.o.d"
+  "bench_prelim"
+  "bench_prelim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prelim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rdns_rules.dir/bench_rdns_rules.cpp.o"
+  "CMakeFiles/bench_rdns_rules.dir/bench_rdns_rules.cpp.o.d"
+  "bench_rdns_rules"
+  "bench_rdns_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rdns_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

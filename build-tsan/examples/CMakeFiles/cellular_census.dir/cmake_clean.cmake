@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_census.dir/cellular_census.cpp.o"
+  "CMakeFiles/cellular_census.dir/cellular_census.cpp.o.d"
+  "cellular_census"
+  "cellular_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhcp_tracking.dir/dhcp_tracking.cpp.o"
+  "CMakeFiles/dhcp_tracking.dir/dhcp_tracking.cpp.o.d"
+  "dhcp_tracking"
+  "dhcp_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhcp_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

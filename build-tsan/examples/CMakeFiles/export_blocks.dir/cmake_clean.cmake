@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_blocks.dir/export_blocks.cpp.o"
+  "CMakeFiles/export_blocks.dir/export_blocks.cpp.o.d"
+  "export_blocks"
+  "export_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

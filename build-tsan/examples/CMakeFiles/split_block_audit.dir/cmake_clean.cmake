@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_block_audit.dir/split_block_audit.cpp.o"
+  "CMakeFiles/split_block_audit.dir/split_block_audit.cpp.o.d"
+  "split_block_audit"
+  "split_block_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_block_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

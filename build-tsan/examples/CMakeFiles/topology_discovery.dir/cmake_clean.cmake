@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_discovery.dir/topology_discovery.cpp.o"
+  "CMakeFiles/topology_discovery.dir/topology_discovery.cpp.o.d"
+  "topology_discovery"
+  "topology_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/adjacency.cpp" "src/analysis/CMakeFiles/analysis.dir/adjacency.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/adjacency.cpp.o.d"
+  "/root/repo/src/analysis/cellular.cpp" "src/analysis/CMakeFiles/analysis.dir/cellular.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/cellular.cpp.o.d"
+  "/root/repo/src/analysis/census.cpp" "src/analysis/CMakeFiles/analysis.dir/census.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/census.cpp.o.d"
+  "/root/repo/src/analysis/edns.cpp" "src/analysis/CMakeFiles/analysis.dir/edns.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/edns.cpp.o.d"
+  "/root/repo/src/analysis/evaluation.cpp" "src/analysis/CMakeFiles/analysis.dir/evaluation.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/evaluation.cpp.o.d"
+  "/root/repo/src/analysis/outage_detection.cpp" "src/analysis/CMakeFiles/analysis.dir/outage_detection.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/outage_detection.cpp.o.d"
+  "/root/repo/src/analysis/plot.cpp" "src/analysis/CMakeFiles/analysis.dir/plot.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/plot.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/sampling.cpp" "src/analysis/CMakeFiles/analysis.dir/sampling.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/sampling.cpp.o.d"
+  "/root/repo/src/analysis/topo_discovery.cpp" "src/analysis/CMakeFiles/analysis.dir/topo_discovery.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/topo_discovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hobbit/CMakeFiles/hobbit_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/probing/CMakeFiles/probing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

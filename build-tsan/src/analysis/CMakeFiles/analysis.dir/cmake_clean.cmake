@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis.dir/adjacency.cpp.o"
+  "CMakeFiles/analysis.dir/adjacency.cpp.o.d"
+  "CMakeFiles/analysis.dir/cellular.cpp.o"
+  "CMakeFiles/analysis.dir/cellular.cpp.o.d"
+  "CMakeFiles/analysis.dir/census.cpp.o"
+  "CMakeFiles/analysis.dir/census.cpp.o.d"
+  "CMakeFiles/analysis.dir/edns.cpp.o"
+  "CMakeFiles/analysis.dir/edns.cpp.o.d"
+  "CMakeFiles/analysis.dir/evaluation.cpp.o"
+  "CMakeFiles/analysis.dir/evaluation.cpp.o.d"
+  "CMakeFiles/analysis.dir/outage_detection.cpp.o"
+  "CMakeFiles/analysis.dir/outage_detection.cpp.o.d"
+  "CMakeFiles/analysis.dir/plot.cpp.o"
+  "CMakeFiles/analysis.dir/plot.cpp.o.d"
+  "CMakeFiles/analysis.dir/report.cpp.o"
+  "CMakeFiles/analysis.dir/report.cpp.o.d"
+  "CMakeFiles/analysis.dir/sampling.cpp.o"
+  "CMakeFiles/analysis.dir/sampling.cpp.o.d"
+  "CMakeFiles/analysis.dir/topo_discovery.cpp.o"
+  "CMakeFiles/analysis.dir/topo_discovery.cpp.o.d"
+  "libanalysis.a"
+  "libanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/aggregate.cpp" "src/cluster/CMakeFiles/cluster.dir/aggregate.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/aggregate.cpp.o.d"
+  "/root/repo/src/cluster/blockio.cpp" "src/cluster/CMakeFiles/cluster.dir/blockio.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/blockio.cpp.o.d"
+  "/root/repo/src/cluster/components.cpp" "src/cluster/CMakeFiles/cluster.dir/components.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/components.cpp.o.d"
+  "/root/repo/src/cluster/mcl.cpp" "src/cluster/CMakeFiles/cluster.dir/mcl.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/mcl.cpp.o.d"
+  "/root/repo/src/cluster/sparse.cpp" "src/cluster/CMakeFiles/cluster.dir/sparse.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hobbit/CMakeFiles/hobbit_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/probing/CMakeFiles/probing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

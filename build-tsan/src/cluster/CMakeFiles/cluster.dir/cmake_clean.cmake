@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster.dir/aggregate.cpp.o"
+  "CMakeFiles/cluster.dir/aggregate.cpp.o.d"
+  "CMakeFiles/cluster.dir/blockio.cpp.o"
+  "CMakeFiles/cluster.dir/blockio.cpp.o.d"
+  "CMakeFiles/cluster.dir/components.cpp.o"
+  "CMakeFiles/cluster.dir/components.cpp.o.d"
+  "CMakeFiles/cluster.dir/mcl.cpp.o"
+  "CMakeFiles/cluster.dir/mcl.cpp.o.d"
+  "CMakeFiles/cluster.dir/sparse.cpp.o"
+  "CMakeFiles/cluster.dir/sparse.cpp.o.d"
+  "libcluster.a"
+  "libcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common.dir/parallel.cpp.o"
+  "CMakeFiles/common.dir/parallel.cpp.o.d"
+  "libcommon.a"
+  "libcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hobbit/confidence.cpp" "src/hobbit/CMakeFiles/hobbit_core.dir/confidence.cpp.o" "gcc" "src/hobbit/CMakeFiles/hobbit_core.dir/confidence.cpp.o.d"
+  "/root/repo/src/hobbit/hierarchy.cpp" "src/hobbit/CMakeFiles/hobbit_core.dir/hierarchy.cpp.o" "gcc" "src/hobbit/CMakeFiles/hobbit_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/hobbit/pipeline.cpp" "src/hobbit/CMakeFiles/hobbit_core.dir/pipeline.cpp.o" "gcc" "src/hobbit/CMakeFiles/hobbit_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/hobbit/prober.cpp" "src/hobbit/CMakeFiles/hobbit_core.dir/prober.cpp.o" "gcc" "src/hobbit/CMakeFiles/hobbit_core.dir/prober.cpp.o.d"
+  "/root/repo/src/hobbit/resultio.cpp" "src/hobbit/CMakeFiles/hobbit_core.dir/resultio.cpp.o" "gcc" "src/hobbit/CMakeFiles/hobbit_core.dir/resultio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/probing/CMakeFiles/probing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

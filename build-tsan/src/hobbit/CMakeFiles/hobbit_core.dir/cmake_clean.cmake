@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hobbit_core.dir/confidence.cpp.o"
+  "CMakeFiles/hobbit_core.dir/confidence.cpp.o.d"
+  "CMakeFiles/hobbit_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/hobbit_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hobbit_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hobbit_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hobbit_core.dir/prober.cpp.o"
+  "CMakeFiles/hobbit_core.dir/prober.cpp.o.d"
+  "CMakeFiles/hobbit_core.dir/resultio.cpp.o"
+  "CMakeFiles/hobbit_core.dir/resultio.cpp.o.d"
+  "libhobbit_core.a"
+  "libhobbit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hobbit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

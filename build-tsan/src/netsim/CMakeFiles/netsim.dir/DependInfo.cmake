@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/internet.cpp" "src/netsim/CMakeFiles/netsim.dir/internet.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/internet.cpp.o.d"
+  "/root/repo/src/netsim/ipv4.cpp" "src/netsim/CMakeFiles/netsim.dir/ipv4.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/ipv4.cpp.o.d"
+  "/root/repo/src/netsim/ipv6.cpp" "src/netsim/CMakeFiles/netsim.dir/ipv6.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/ipv6.cpp.o.d"
+  "/root/repo/src/netsim/rdns.cpp" "src/netsim/CMakeFiles/netsim.dir/rdns.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/rdns.cpp.o.d"
+  "/root/repo/src/netsim/registry.cpp" "src/netsim/CMakeFiles/netsim.dir/registry.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/registry.cpp.o.d"
+  "/root/repo/src/netsim/simulator.cpp" "src/netsim/CMakeFiles/netsim.dir/simulator.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim.dir/internet.cpp.o"
+  "CMakeFiles/netsim.dir/internet.cpp.o.d"
+  "CMakeFiles/netsim.dir/ipv4.cpp.o"
+  "CMakeFiles/netsim.dir/ipv4.cpp.o.d"
+  "CMakeFiles/netsim.dir/ipv6.cpp.o"
+  "CMakeFiles/netsim.dir/ipv6.cpp.o.d"
+  "CMakeFiles/netsim.dir/rdns.cpp.o"
+  "CMakeFiles/netsim.dir/rdns.cpp.o.d"
+  "CMakeFiles/netsim.dir/registry.cpp.o"
+  "CMakeFiles/netsim.dir/registry.cpp.o.d"
+  "CMakeFiles/netsim.dir/simulator.cpp.o"
+  "CMakeFiles/netsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/netsim.dir/topology.cpp.o"
+  "CMakeFiles/netsim.dir/topology.cpp.o.d"
+  "libnetsim.a"
+  "libnetsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

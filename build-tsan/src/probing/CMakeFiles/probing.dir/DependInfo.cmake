@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probing/last_hop.cpp" "src/probing/CMakeFiles/probing.dir/last_hop.cpp.o" "gcc" "src/probing/CMakeFiles/probing.dir/last_hop.cpp.o.d"
+  "/root/repo/src/probing/traceroute.cpp" "src/probing/CMakeFiles/probing.dir/traceroute.cpp.o" "gcc" "src/probing/CMakeFiles/probing.dir/traceroute.cpp.o.d"
+  "/root/repo/src/probing/zmap.cpp" "src/probing/CMakeFiles/probing.dir/zmap.cpp.o" "gcc" "src/probing/CMakeFiles/probing.dir/zmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probing.dir/last_hop.cpp.o"
+  "CMakeFiles/probing.dir/last_hop.cpp.o.d"
+  "CMakeFiles/probing.dir/traceroute.cpp.o"
+  "CMakeFiles/probing.dir/traceroute.cpp.o.d"
+  "CMakeFiles/probing.dir/zmap.cpp.o"
+  "CMakeFiles/probing.dir/zmap.cpp.o.d"
+  "libprobing.a"
+  "libprobing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

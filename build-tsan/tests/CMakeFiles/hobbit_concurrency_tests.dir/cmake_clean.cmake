@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hobbit_concurrency_tests.dir/test_concurrency.cpp.o"
+  "CMakeFiles/hobbit_concurrency_tests.dir/test_concurrency.cpp.o.d"
+  "CMakeFiles/hobbit_concurrency_tests.dir/test_parallel.cpp.o"
+  "CMakeFiles/hobbit_concurrency_tests.dir/test_parallel.cpp.o.d"
+  "hobbit_concurrency_tests"
+  "hobbit_concurrency_tests.pdb"
+  "hobbit_concurrency_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hobbit_concurrency_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adjacency.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_adjacency.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_adjacency.cpp.o.d"
+  "/root/repo/tests/test_aggregate.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_aggregate.cpp.o.d"
+  "/root/repo/tests/test_blockio.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_blockio.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_blockio.cpp.o.d"
+  "/root/repo/tests/test_cellular.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_cellular.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_cellular.cpp.o.d"
+  "/root/repo/tests/test_census.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_census.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_census.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_confidence.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_confidence.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_confidence.cpp.o.d"
+  "/root/repo/tests/test_edns.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_edns.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_edns.cpp.o.d"
+  "/root/repo/tests/test_epochs.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_epochs.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_epochs.cpp.o.d"
+  "/root/repo/tests/test_evaluation.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_evaluation.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_evaluation.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_host_model.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_host_model.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_host_model.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_internet.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_internet.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_internet.cpp.o.d"
+  "/root/repo/tests/test_ipv4.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_ipv4.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_ipv4.cpp.o.d"
+  "/root/repo/tests/test_ipv6.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_ipv6.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_ipv6.cpp.o.d"
+  "/root/repo/tests/test_ipv6_pilot.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_ipv6_pilot.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_ipv6_pilot.cpp.o.d"
+  "/root/repo/tests/test_last_hop.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_last_hop.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_last_hop.cpp.o.d"
+  "/root/repo/tests/test_mcl.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_mcl.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_mcl.cpp.o.d"
+  "/root/repo/tests/test_multivantage.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_multivantage.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_multivantage.cpp.o.d"
+  "/root/repo/tests/test_outage.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_outage.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_outage.cpp.o.d"
+  "/root/repo/tests/test_parser_robustness.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_parser_robustness.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_parser_robustness.cpp.o.d"
+  "/root/repo/tests/test_ping.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_ping.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_ping.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_plot.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_plot.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_plot.cpp.o.d"
+  "/root/repo/tests/test_prober.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_prober.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_prober.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rdns.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_rdns.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_rdns.cpp.o.d"
+  "/root/repo/tests/test_registry.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_registry.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_registry.cpp.o.d"
+  "/root/repo/tests/test_resultio.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_resultio.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_resultio.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rtt_model.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_rtt_model.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_rtt_model.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_topo_discovery.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_topo_discovery.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_topo_discovery.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_traceroute.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_traceroute.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_traceroute.cpp.o.d"
+  "/root/repo/tests/test_zmap.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_zmap.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_zmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hobbit/CMakeFiles/hobbit_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/probing/CMakeFiles/probing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/hobbit_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/hobbit_concurrency_tests[1]_include.cmake")
+add_test(cli_generate "/root/repo/build-tsan/tools/hobbit_sim" "generate" "--scale" "0.02" "--seed" "5")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;71;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_measure_roundtrip "/root/repo/build-tsan/tools/hobbit_sim" "measure" "--scale" "0.02" "--seed" "5" "--results" "/root/repo/build-tsan/smoke_results.tsv" "--blocks" "/root/repo/build-tsan/smoke_blocks.txt")
+set_tests_properties(cli_measure_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build-tsan/tools/hobbit_sim" "stats" "--results" "/root/repo/build-tsan/smoke_results.tsv")
+set_tests_properties(cli_stats PROPERTIES  DEPENDS "cli_measure_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;77;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart" "0.02" "5")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;81;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_export_blocks "/root/repo/build-tsan/examples/export_blocks" "/root/repo/build-tsan/smoke_export.txt" "0.02" "5")
+set_tests_properties(example_export_blocks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_command "/root/repo/build-tsan/tools/hobbit_sim" "frobnicate")
+set_tests_properties(cli_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;84;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_prefix "/root/repo/build-tsan/tools/hobbit_sim" "classify" "not-a-prefix" "--scale" "0.02")
+set_tests_properties(cli_rejects_bad_prefix PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_stats_missing_file "/root/repo/build-tsan/tools/hobbit_sim" "stats" "--results" "/nonexistent/file.tsv")
+set_tests_properties(cli_stats_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;89;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hobbit_sim.dir/hobbit_sim.cpp.o"
+  "CMakeFiles/hobbit_sim.dir/hobbit_sim.cpp.o.d"
+  "hobbit_sim"
+  "hobbit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hobbit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

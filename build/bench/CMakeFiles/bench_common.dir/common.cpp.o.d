@@ -251,4 +251,11 @@ bench/CMakeFiles/bench_common.dir/common.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/parallel.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /usr/include/c++/12/condition_variable

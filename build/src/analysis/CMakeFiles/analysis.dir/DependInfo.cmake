@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/hobbit/CMakeFiles/hobbit_core.dir/DependInfo.cmake"
   "/root/repo/build/src/probing/CMakeFiles/probing.dir/DependInfo.cmake"
   "/root/repo/build/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/common.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_concurrency.cpp" "tests/CMakeFiles/hobbit_concurrency_tests.dir/test_concurrency.cpp.o" "gcc" "tests/CMakeFiles/hobbit_concurrency_tests.dir/test_concurrency.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/hobbit_concurrency_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/hobbit_concurrency_tests.dir/test_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/hobbit/CMakeFiles/hobbit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/probing/CMakeFiles/probing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

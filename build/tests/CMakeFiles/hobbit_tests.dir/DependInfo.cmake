@@ -14,7 +14,6 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_cellular.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_cellular.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_cellular.cpp.o.d"
   "/root/repo/tests/test_census.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_census.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_census.cpp.o.d"
   "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_components.cpp.o.d"
-  "/root/repo/tests/test_concurrency.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_concurrency.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_concurrency.cpp.o.d"
   "/root/repo/tests/test_confidence.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_confidence.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_confidence.cpp.o.d"
   "/root/repo/tests/test_edns.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_edns.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_edns.cpp.o.d"
   "/root/repo/tests/test_epochs.cpp" "tests/CMakeFiles/hobbit_tests.dir/test_epochs.cpp.o" "gcc" "tests/CMakeFiles/hobbit_tests.dir/test_epochs.cpp.o.d"
@@ -59,6 +58,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/hobbit/CMakeFiles/hobbit_core.dir/DependInfo.cmake"
   "/root/repo/build/src/probing/CMakeFiles/probing.dir/DependInfo.cmake"
   "/root/repo/build/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/common.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

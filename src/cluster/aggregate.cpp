@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "cluster/components.h"
+#include "common/parallel.h"
 #include "netsim/rng.h"
 
 namespace hobbit::cluster {
@@ -59,32 +60,55 @@ std::vector<AggregateBlock> AggregateIdentical(
   return aggregates;
 }
 
-Graph BuildSimilarityGraph(std::span<const AggregateBlock> aggregates) {
+Graph BuildSimilarityGraph(std::span<const AggregateBlock> aggregates,
+                           common::ThreadPool* pool) {
   Graph graph;
   graph.vertex_count = static_cast<std::uint32_t>(aggregates.size());
-  // Inverted index: last-hop interface -> aggregates containing it.
+  // Inverted index: last-hop interface -> aggregates containing it (each
+  // bucket in ascending vertex order by construction).
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_router;
   for (std::uint32_t v = 0; v < aggregates.size(); ++v) {
     for (netsim::Ipv4Address router : aggregates[v].last_hops) {
       by_router[router.value()].push_back(v);
     }
   }
-  // Candidate pairs share at least one router; dedupe via a set of packed
-  // pairs.
-  std::unordered_map<std::uint64_t, bool> seen;
-  for (const auto& [router, vertices] : by_router) {
-    for (std::size_t i = 0; i < vertices.size(); ++i) {
-      for (std::size_t j = i + 1; j < vertices.size(); ++j) {
-        std::uint32_t a = vertices[i];
-        std::uint32_t b = vertices[j];
-        if (a > b) std::swap(a, b);
-        std::uint64_t key = (std::uint64_t{a} << 32) | b;
-        if (!seen.emplace(key, true).second) continue;
-        double w = Similarity(aggregates[a].last_hops,
-                              aggregates[b].last_hops);
-        if (w > 0.0) graph.edges.push_back({a, b, w});
-      }
-    }
+  // Each vertex a emits its edges to higher-numbered neighbours; sharding
+  // over a and concatenating per-vertex edge lists in vertex order yields
+  // the same (a, b)-sorted edge list for every thread count.
+  std::vector<std::vector<Graph::Edge>> edges_by_vertex(aggregates.size());
+  common::ForEachShard(
+      pool, aggregates.size(),
+      [&](std::size_t shard, std::size_t shard_count) {
+        std::vector<std::uint32_t> candidates;
+        for (std::size_t a = shard; a < aggregates.size();
+             a += shard_count) {
+          candidates.clear();
+          for (netsim::Ipv4Address router : aggregates[a].last_hops) {
+            auto bucket = by_router.find(router.value());
+            for (std::uint32_t b : bucket->second) {
+              if (b > a) candidates.push_back(b);
+            }
+          }
+          std::sort(candidates.begin(), candidates.end());
+          candidates.erase(
+              std::unique(candidates.begin(), candidates.end()),
+              candidates.end());
+          auto& edges = edges_by_vertex[a];
+          edges.reserve(candidates.size());
+          for (std::uint32_t b : candidates) {
+            double w = Similarity(aggregates[a].last_hops,
+                                  aggregates[b].last_hops);
+            if (w > 0.0) {
+              edges.push_back({static_cast<std::uint32_t>(a), b, w});
+            }
+          }
+        }
+      });
+  std::size_t total = 0;
+  for (const auto& edges : edges_by_vertex) total += edges.size();
+  graph.edges.reserve(total);
+  for (const auto& edges : edges_by_vertex) {
+    graph.edges.insert(graph.edges.end(), edges.begin(), edges.end());
   }
   return graph;
 }
@@ -124,17 +148,26 @@ MclAggregationResult RunMclAggregation(
     std::span<const AggregateBlock> aggregates,
     const MclAggregationParams& params) {
   MclAggregationResult result;
-  Graph graph = BuildSimilarityGraph(aggregates);
+  // One pool shared by edge generation, the inflation sweep and every
+  // per-component MCL run.
+  common::ThreadPool local_pool(params.mcl.pool != nullptr
+                                    ? 1
+                                    : params.mcl.threads);
+  common::ThreadPool* pool =
+      params.mcl.pool != nullptr ? params.mcl.pool : &local_pool;
+  Graph graph = BuildSimilarityGraph(aggregates, pool);
 
   // §6.4 parameter sweep on the whole (disconnected) graph.
+  MclParams sweep_params = params.mcl;
+  sweep_params.pool = pool;
   SweepOutcome sweep =
-      SweepInflation(graph, params.inflation_candidates, params.mcl);
+      SweepInflation(graph, params.inflation_candidates, sweep_params);
   result.chosen_inflation = sweep.best_inflation;
 
   // Per-component MCL (§6.3 preprocessing step 2).
   std::vector<Component> components = SplitComponents(graph);
   result.component_count = components.size();
-  MclParams mcl_params = params.mcl;
+  MclParams mcl_params = sweep_params;
   mcl_params.inflation = result.chosen_inflation;
 
   for (const Component& component : components) {
@@ -169,8 +202,6 @@ void ValidateClusters(const netsim::Internet& internet,
                       std::span<const AggregateBlock> aggregates,
                       MclAggregationResult& result,
                       const ValidationParams& params) {
-  netsim::Rng rng(params.seed);
-
   // Snapshot lookup by prefix (study_blocks sorted by prefix).
   auto find_block =
       [&](const netsim::Prefix& p) -> const probing::ZmapBlock* {
@@ -183,21 +214,34 @@ void ValidateClusters(const netsim::Internet& internet,
     return &*pos;
   };
 
-  // Cache: reprobed last-hop set per /24.
-  std::map<netsim::Prefix, std::vector<netsim::Ipv4Address>> reprobed;
-  auto reprobe = [&](const netsim::Prefix& p)
-      -> const std::vector<netsim::Ipv4Address>* {
-    auto cached = reprobed.find(p);
-    if (cached != reprobed.end()) return &cached->second;
-    const probing::ZmapBlock* block = find_block(p);
-    if (block == nullptr) return nullptr;
-    core::BlockResult r = core::ReprobeBlock(
-        internet, *block,
-        netsim::StableHash({params.seed, p.base().value()}));
-    return &reprobed.emplace(p, std::move(r.last_hop_set)).first->second;
-  };
+  common::ThreadPool local_pool(params.pool != nullptr ? 1
+                                                       : params.threads);
+  common::ThreadPool* pool =
+      params.pool != nullptr ? params.pool : &local_pool;
 
-  for (ClusterInfo& cluster : result.clusters) {
+  // Clusters partition the aggregates, so reprobe results never repeat
+  // across clusters: a per-cluster cache loses nothing, and per-cluster
+  // RNGs forked from (seed, cluster index) keep the pair sample — and
+  // therefore the verdict — independent of scheduling.
+  pool->ForEach(result.clusters.size(), [&](std::size_t cluster_index) {
+    ClusterInfo& cluster = result.clusters[cluster_index];
+    netsim::Rng rng(netsim::StableHash(
+        {params.seed, cluster_index, 0x7A11DA7EULL}));
+
+    // Cache: reprobed last-hop set per /24 (local to this cluster).
+    std::map<netsim::Prefix, std::vector<netsim::Ipv4Address>> reprobed;
+    auto reprobe = [&](const netsim::Prefix& p)
+        -> const std::vector<netsim::Ipv4Address>* {
+      auto cached = reprobed.find(p);
+      if (cached != reprobed.end()) return &cached->second;
+      const probing::ZmapBlock* block = find_block(p);
+      if (block == nullptr) return nullptr;
+      core::BlockResult r = core::ReprobeBlock(
+          internet, *block,
+          netsim::StableHash({params.seed, p.base().value()}));
+      return &reprobed.emplace(p, std::move(r.last_hop_set)).first->second;
+    };
+
     // Collect the member /24s.
     std::vector<const netsim::Prefix*> members;
     for (std::uint32_t id : cluster.aggregate_ids) {
@@ -208,7 +252,7 @@ void ValidateClusters(const netsim::Internet& internet,
     if (members.size() < 2) {
       cluster.identical_pair_ratio = 1.0;
       cluster.validated_homogeneous = true;
-      continue;
+      return;
     }
     const std::size_t total_pairs = members.size() * (members.size() - 1) / 2;
     const std::size_t want =
@@ -230,7 +274,7 @@ void ValidateClusters(const netsim::Internet& internet,
                       : static_cast<double>(identical) / compared;
     cluster.validated_homogeneous =
         compared > 0 && identical == compared;
-  }
+  });
 }
 
 std::vector<AggregateBlock> MergeValidatedClusters(

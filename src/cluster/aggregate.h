@@ -42,8 +42,10 @@ std::vector<AggregateBlock> AggregateIdentical(
 /// §6.3: the similarity graph.  Vertices are aggregates; an edge connects
 /// two aggregates with overlapping last-hop sets, weighted
 /// |A ∩ B| / max(|A|, |B|).  (Weight-1 edges cannot occur: identical sets
-/// were already merged.)
-Graph BuildSimilarityGraph(std::span<const AggregateBlock> aggregates);
+/// were already merged.)  Edge generation shards over vertices on `pool`;
+/// the edge list comes back sorted by (a, b) regardless of thread count.
+Graph BuildSimilarityGraph(std::span<const AggregateBlock> aggregates,
+                           common::ThreadPool* pool = nullptr);
 
 /// §6.6: the experimental rule.  Looks at the distribution of pairwise
 /// /24-level similarity inside a cluster (within-aggregate pairs count as
@@ -95,6 +97,13 @@ MclAggregationResult RunMclAggregation(
 struct ValidationParams {
   std::size_t max_pairs_per_cluster = 64;
   std::uint64_t seed = 99;
+  /// Worker threads for per-cluster reprobing.  Every cluster draws its
+  /// pair sample from an RNG forked from (seed, cluster index), so the
+  /// outcome is bit-identical for any thread count.  Ignored when `pool`
+  /// is set.
+  int threads = 1;
+  /// Optional externally owned pool shared across pipeline stages.
+  common::ThreadPool* pool = nullptr;
 };
 void ValidateClusters(const netsim::Internet& internet,
                       std::span<const probing::ZmapBlock> study_blocks,

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "cluster/sparse.h"
+#include "common/parallel.h"
 
 namespace hobbit::cluster {
 namespace {
@@ -73,11 +74,17 @@ std::vector<std::vector<std::uint32_t>> Interpret(const SparseMatrix& m) {
 MclResult RunMcl(const Graph& graph, const MclParams& params) {
   MclResult result;
   if (graph.vertex_count == 0) return result;
+  // One pool for the whole run, reused across iterations (worker threads
+  // persist); an externally shared pool takes precedence.
+  common::ThreadPool local_pool(params.pool != nullptr ? 1 : params.threads);
+  common::ThreadPool* pool =
+      params.pool != nullptr ? params.pool : &local_pool;
   SparseMatrix m = BuildTransitionMatrix(graph, params);
   for (int iteration = 0; iteration < params.max_iterations; ++iteration) {
-    SparseMatrix expanded = m.Multiply(m);
-    expanded.Inflate(params.inflation);
-    expanded.Prune(params.prune_threshold, params.max_entries_per_column);
+    SparseMatrix expanded = m.Multiply(m, pool);
+    expanded.Inflate(params.inflation, pool);
+    expanded.Prune(params.prune_threshold, params.max_entries_per_column,
+                   pool);
     double delta = expanded.MaxDifference(m);
     m = std::move(expanded);
     result.iterations = iteration + 1;

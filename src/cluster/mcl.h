@@ -13,6 +13,10 @@
 #include <span>
 #include <vector>
 
+namespace hobbit::common {
+class ThreadPool;
+}
+
 namespace hobbit::cluster {
 
 /// An undirected weighted graph given as an edge list over vertices
@@ -38,6 +42,13 @@ struct MclParams {
   /// Pruning keeps iterates sparse.
   double prune_threshold = 1e-5;
   std::size_t max_entries_per_column = 64;
+  /// Worker threads for expansion/inflation/pruning (column-sharded).
+  /// Results are bit-identical for any thread count; see
+  /// src/common/parallel.h.  Ignored when `pool` is set.
+  int threads = 1;
+  /// Optional externally owned pool shared across pipeline stages; when
+  /// null, RunMcl creates its own from `threads`.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// The clustering: every vertex appears in exactly one cluster; clusters

@@ -2,8 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace hobbit::cluster {
+namespace {
+
+bool IsParallel(common::ThreadPool* pool) {
+  return pool != nullptr && pool->thread_count() > 1;
+}
+
+}  // namespace
 
 SparseMatrix SparseMatrix::FromTriplets(std::uint32_t n,
                                         std::vector<Triplet> triplets) {
@@ -34,50 +44,112 @@ SparseMatrix SparseMatrix::FromTriplets(std::uint32_t n,
   return m;
 }
 
-void SparseMatrix::NormalizeColumns() {
-  for (std::uint32_t c = 0; c < n_; ++c) {
+void SparseMatrix::NormalizeColumns(common::ThreadPool* pool) {
+  common::ForEach(pool, n_, [this](std::size_t c) {
     double sum = 0.0;
     for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
       sum += values_[i];
     }
-    if (sum <= 0.0) continue;
+    if (sum <= 0.0) return;
     for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
       values_[i] /= sum;
     }
+  });
+}
+
+void SparseMatrix::Inflate(double power, common::ThreadPool* pool) {
+  // Fused per-column pow + renormalize: each column's floating-point
+  // operations run in the same order as the serial pow-then-normalize,
+  // so results cannot depend on the thread count.
+  common::ForEach(pool, n_, [this, power](std::size_t c) {
+    double sum = 0.0;
+    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+      values_[i] = std::pow(values_[i], power);
+      sum += values_[i];
+    }
+    if (sum <= 0.0) return;
+    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+      values_[i] /= sum;
+    }
+  });
+}
+
+void SparseMatrix::Prune(double threshold, std::size_t max_per_column,
+                         common::ThreadPool* pool) {
+  if (!IsParallel(pool)) {
+    std::vector<std::size_t> new_start(n_ + 1, 0);
+    std::vector<std::uint32_t> new_rows;
+    std::vector<double> new_values;
+    new_rows.reserve(rows_.size());
+    new_values.reserve(values_.size());
+    std::vector<std::pair<double, std::uint32_t>> kept;
+    for (std::uint32_t c = 0; c < n_; ++c) {
+      kept.clear();
+      for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+        if (values_[i] >= threshold) kept.emplace_back(values_[i], rows_[i]);
+      }
+      if (kept.size() > max_per_column) {
+        std::nth_element(kept.begin(),
+                         kept.begin() + static_cast<std::ptrdiff_t>(
+                                            max_per_column),
+                         kept.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first > b.first;
+                         });
+        kept.resize(max_per_column);
+      }
+      std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+        return a.second < b.second;
+      });
+      for (const auto& [value, row] : kept) {
+        new_rows.push_back(row);
+        new_values.push_back(value);
+      }
+      new_start[c + 1] = new_rows.size();
+    }
+    col_start_ = std::move(new_start);
+    rows_ = std::move(new_rows);
+    values_ = std::move(new_values);
+    NormalizeColumns(pool);
+    return;
   }
-}
 
-void SparseMatrix::Inflate(double power) {
-  for (double& v : values_) v = std::pow(v, power);
-  NormalizeColumns();
-}
-
-void SparseMatrix::Prune(double threshold, std::size_t max_per_column) {
+  // Parallel: prune each column into its own buffer (per-shard scratch for
+  // the selection), then stitch serially in column order — the per-column
+  // contents are identical to the serial path above.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> kept_by_col(n_);
+  pool->ForEachShard(n_, [&](std::size_t shard, std::size_t shard_count) {
+    std::vector<std::pair<double, std::uint32_t>> kept;
+    for (std::size_t c = shard; c < n_; c += shard_count) {
+      kept.clear();
+      for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+        if (values_[i] >= threshold) kept.emplace_back(values_[i], rows_[i]);
+      }
+      if (kept.size() > max_per_column) {
+        std::nth_element(kept.begin(),
+                         kept.begin() + static_cast<std::ptrdiff_t>(
+                                            max_per_column),
+                         kept.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first > b.first;
+                         });
+        kept.resize(max_per_column);
+      }
+      std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+        return a.second < b.second;
+      });
+      auto& column = kept_by_col[c];
+      column.reserve(kept.size());
+      for (const auto& [value, row] : kept) column.emplace_back(row, value);
+    }
+  });
   std::vector<std::size_t> new_start(n_ + 1, 0);
   std::vector<std::uint32_t> new_rows;
   std::vector<double> new_values;
   new_rows.reserve(rows_.size());
   new_values.reserve(values_.size());
-  std::vector<std::pair<double, std::uint32_t>> kept;
   for (std::uint32_t c = 0; c < n_; ++c) {
-    kept.clear();
-    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-      if (values_[i] >= threshold) kept.emplace_back(values_[i], rows_[i]);
-    }
-    if (kept.size() > max_per_column) {
-      std::nth_element(kept.begin(),
-                       kept.begin() + static_cast<std::ptrdiff_t>(
-                                          max_per_column),
-                       kept.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first > b.first;
-                       });
-      kept.resize(max_per_column);
-    }
-    std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
-      return a.second < b.second;
-    });
-    for (const auto& [value, row] : kept) {
+    for (const auto& [row, value] : kept_by_col[c]) {
       new_rows.push_back(row);
       new_values.push_back(value);
     }
@@ -86,34 +158,82 @@ void SparseMatrix::Prune(double threshold, std::size_t max_per_column) {
   col_start_ = std::move(new_start);
   rows_ = std::move(new_rows);
   values_ = std::move(new_values);
-  NormalizeColumns();
+  NormalizeColumns(pool);
 }
 
-SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other) const {
+SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other,
+                                    common::ThreadPool* pool) const {
   // result = this * other, column by column: result[:,c] is a linear
-  // combination of this's columns selected by other[:,c].
+  // combination of this's columns selected by other[:,c].  Each output
+  // column is computed by exactly one shard with the same accumulation
+  // order as the serial loop, so the product is thread-count-invariant.
   SparseMatrix result(n_);
-  std::vector<double> accumulator(n_, 0.0);
-  std::vector<std::uint32_t> touched;
-  for (std::uint32_t c = 0; c < n_; ++c) {
-    touched.clear();
-    ColumnView oc = other.Column(c);
-    for (std::size_t i = 0; i < oc.count; ++i) {
-      const std::uint32_t k = oc.rows[i];
-      const double w = oc.values[i];
-      ColumnView tc = Column(k);
-      for (std::size_t j = 0; j < tc.count; ++j) {
-        const std::uint32_t r = tc.rows[j];
-        if (accumulator[r] == 0.0) touched.push_back(r);
-        accumulator[r] += w * tc.values[j];
+  if (!IsParallel(pool)) {
+    std::vector<double> accumulator(n_, 0.0);
+    std::vector<std::uint32_t> touched;
+    for (std::uint32_t c = 0; c < n_; ++c) {
+      touched.clear();
+      ColumnView oc = other.Column(c);
+      for (std::size_t i = 0; i < oc.count; ++i) {
+        const std::uint32_t k = oc.rows[i];
+        const double w = oc.values[i];
+        ColumnView tc = Column(k);
+        for (std::size_t j = 0; j < tc.count; ++j) {
+          const std::uint32_t r = tc.rows[j];
+          if (accumulator[r] == 0.0) touched.push_back(r);
+          accumulator[r] += w * tc.values[j];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      for (std::uint32_t r : touched) {
+        result.rows_.push_back(r);
+        result.values_.push_back(accumulator[r]);
+        accumulator[r] = 0.0;
+      }
+      result.col_start_[c + 1] = result.rows_.size();
+    }
+    return result;
+  }
+
+  std::vector<std::vector<std::uint32_t>> rows_by_col(n_);
+  std::vector<std::vector<double>> values_by_col(n_);
+  pool->ForEachShard(n_, [&](std::size_t shard, std::size_t shard_count) {
+    std::vector<double> accumulator(n_, 0.0);
+    std::vector<std::uint32_t> touched;
+    for (std::size_t c = shard; c < n_; c += shard_count) {
+      touched.clear();
+      ColumnView oc = other.Column(static_cast<std::uint32_t>(c));
+      for (std::size_t i = 0; i < oc.count; ++i) {
+        const std::uint32_t k = oc.rows[i];
+        const double w = oc.values[i];
+        ColumnView tc = Column(k);
+        for (std::size_t j = 0; j < tc.count; ++j) {
+          const std::uint32_t r = tc.rows[j];
+          if (accumulator[r] == 0.0) touched.push_back(r);
+          accumulator[r] += w * tc.values[j];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      auto& out_rows = rows_by_col[c];
+      auto& out_values = values_by_col[c];
+      out_rows.reserve(touched.size());
+      out_values.reserve(touched.size());
+      for (std::uint32_t r : touched) {
+        out_rows.push_back(r);
+        out_values.push_back(accumulator[r]);
+        accumulator[r] = 0.0;
       }
     }
-    std::sort(touched.begin(), touched.end());
-    for (std::uint32_t r : touched) {
-      result.rows_.push_back(r);
-      result.values_.push_back(accumulator[r]);
-      accumulator[r] = 0.0;
-    }
+  });
+  std::size_t total = 0;
+  for (const auto& column : rows_by_col) total += column.size();
+  result.rows_.reserve(total);
+  result.values_.reserve(total);
+  for (std::uint32_t c = 0; c < n_; ++c) {
+    result.rows_.insert(result.rows_.end(), rows_by_col[c].begin(),
+                        rows_by_col[c].end());
+    result.values_.insert(result.values_.end(), values_by_col[c].begin(),
+                          values_by_col[c].end());
     result.col_start_[c + 1] = result.rows_.size();
   }
   return result;

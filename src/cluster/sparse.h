@@ -5,10 +5,19 @@
 // expansion (matrix squaring — flow spreads) with inflation (entry-wise
 // powering — flow sharpens).  Everything here is column-oriented because
 // both normalisation and pruning operate per column.
+// All mutating operations optionally take a `common::ThreadPool*`; work is
+// sharded *by column*, and every column's floating-point operations happen
+// in the same order regardless of the thread count, so parallel results
+// are bit-identical to serial ones (see src/common/parallel.h for the
+// sharding contract).
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+namespace hobbit::common {
+class ThreadPool;
+}
 
 namespace hobbit::cluster {
 
@@ -43,18 +52,20 @@ class SparseMatrix {
   }
 
   /// Scales every column to sum 1 (columns with zero sum are left empty).
-  void NormalizeColumns();
+  void NormalizeColumns(common::ThreadPool* pool = nullptr);
 
   /// Raises each entry to `power`, then renormalizes columns.
-  void Inflate(double power);
+  void Inflate(double power, common::ThreadPool* pool = nullptr);
 
   /// Drops entries below `threshold` and keeps at most `max_per_column`
   /// largest entries per column, then renormalizes.  This is the pruning
   /// that keeps MCL's iterates sparse.
-  void Prune(double threshold, std::size_t max_per_column);
+  void Prune(double threshold, std::size_t max_per_column,
+             common::ThreadPool* pool = nullptr);
 
   /// this × other (both column-stochastic n×n); returns the product.
-  SparseMatrix Multiply(const SparseMatrix& other) const;
+  SparseMatrix Multiply(const SparseMatrix& other,
+                        common::ThreadPool* pool = nullptr) const;
 
   /// Sum over columns of max(column) - used in MCL's chaos convergence
   /// measure; a converged (idempotent) column has chaos ~ 0.

@@ -1,0 +1,132 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace hobbit::common {
+namespace {
+
+// Set while a thread is executing a shard body; a nested ForEach from
+// inside a body runs serially inline instead of re-entering the pool
+// (which would deadlock waiting for the worker it is running on).
+thread_local bool tls_inside_pool = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int clamped = std::max(threads, 1);
+  errors_.resize(static_cast<std::size_t>(clamped));
+  workers_.reserve(static_cast<std::size_t>(clamped - 1));
+  for (int w = 1; w < clamped; ++w) {
+    workers_.emplace_back(
+        [this, w] { WorkerLoop(static_cast<std::size_t>(w)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    std::size_t shards = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      shards = job_shards_;
+    }
+    std::exception_ptr error;
+    if (worker_index < shards) {
+      tls_inside_pool = true;
+      try {
+        (*job)(worker_index, shards);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      tls_inside_pool = false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error) errors_[worker_index] = error;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ForEachShard(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t shards =
+      std::min<std::size_t>(static_cast<std::size_t>(thread_count()), count);
+  if (shards == 1 || tls_inside_pool) {
+    // Serial path (single shard, or a nested call from inside a body):
+    // one shard sees every item, in index order.
+    body(0, 1);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &body;
+    job_shards_ = shards;
+    pending_ = workers_.size();
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The calling thread is shard 0.
+  tls_inside_pool = true;
+  try {
+    body(0, shards);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  tls_inside_pool = false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  for (std::exception_ptr& error : errors_) {
+    if (error) {
+      std::exception_ptr first = error;
+      std::fill(errors_.begin(), errors_.end(), nullptr);
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+void ThreadPool::ForEach(std::size_t count,
+                         const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  ForEachShard(count, [&](std::size_t shard, std::size_t shard_count) {
+    for (std::size_t i = shard; i < count; i += shard_count) body(i);
+  });
+}
+
+void ForEach(ThreadPool* pool, std::size_t count,
+             const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->ForEach(count, body);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) body(i);
+}
+
+void ForEachShard(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->ForEachShard(count, body);
+    return;
+  }
+  if (count > 0) body(0, 1);
+}
+
+}  // namespace hobbit::common

@@ -1,0 +1,106 @@
+// parallel.h — the shared deterministic thread pool.
+//
+// Every parallel stage in the codebase — adaptive probing, similarity-graph
+// edge generation, MCL expansion/inflation, cluster validation reprobing —
+// runs through this one primitive so that a single `threads` knob governs a
+// whole campaign and so that results are *bit-identical for any thread
+// count*.  The determinism contract:
+//
+//  * `ForEach(count, body)` invokes `body(i)` exactly once for every
+//    i in [0, count).  Work item i is handled by shard `i % shard_count`
+//    where `shard_count = min(thread_count(), count)`.  Bodies must be
+//    independent (no cross-item ordering) and must derive any randomness
+//    from i (stable hashing / per-index forked RNGs), never from a shared
+//    sequential stream.  Under that discipline the outputs cannot depend
+//    on the thread count.
+//  * `ForEachShard(count, body)` is the shard-level variant for bodies
+//    that want per-worker scratch space: `body(shard, shard_count)` is
+//    invoked once per shard and is responsible for iterating its items
+//    `i = shard, shard + shard_count, ...` itself.  Because the
+//    item→shard assignment is a pure function of (i, shard_count) — and
+//    shard_count depends only on the configured thread count — any
+//    per-shard accumulation that is later stitched back in item order is
+//    deterministic as well.
+//
+// There is deliberately no work stealing: stealing makes the item→worker
+// assignment scheduling-dependent, which is harmless for embarrassingly
+// parallel writes but poisonous the moment a body keeps per-worker state.
+//
+// Degenerate cases (all documented behaviour, exercised by
+// tests/test_parallel.cpp):
+//  * a requested thread count < 1 clamps to 1 (serial, no workers spawned);
+//  * count == 0 returns immediately without invoking the body;
+//  * count == 1 or thread_count() == 1 runs inline on the calling thread;
+//  * nested use (a body calling back into the same pool) degrades to
+//    serial inline execution instead of deadlocking.
+//
+// Exceptions thrown by bodies are captured per shard and rethrown on the
+// calling thread once every shard has finished; when several shards throw,
+// the lowest shard index wins (deterministic propagation).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace hobbit::common {
+
+/// A persistent pool of `threads - 1` worker threads plus the calling
+/// thread.  Construction is cheap for `threads <= 1` (no threads are
+/// spawned); workers otherwise live until destruction and are reused
+/// across successive ForEach/ForEachShard calls.
+///
+/// One owner at a time: concurrent ForEach calls from different threads
+/// on the same pool are not supported.
+class ThreadPool {
+ public:
+  /// `threads < 1` clamps to 1.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The effective (clamped) thread count, calling thread included.
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `body(i)` exactly once for each i in [0, count); item i runs on
+  /// shard `i % min(thread_count(), count)`.
+  void ForEach(std::size_t count,
+               const std::function<void(std::size_t)>& body);
+
+  /// Shard-level variant: `body(shard, shard_count)` once per shard in
+  /// [0, shard_count); the body iterates `i = shard; i < count;
+  /// i += shard_count` itself and may keep per-shard scratch.
+  void ForEachShard(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void WorkerLoop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_shards_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+/// Convenience wrappers treating a null pool as "serial": library code can
+/// accept an optional `ThreadPool*` and call these unconditionally.
+void ForEach(ThreadPool* pool, std::size_t count,
+             const std::function<void(std::size_t)>& body);
+void ForEachShard(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace hobbit::common

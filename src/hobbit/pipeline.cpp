@@ -1,7 +1,8 @@
 #include "hobbit/pipeline.h"
 
 #include <algorithm>
-#include <thread>
+
+#include "common/parallel.h"
 
 namespace hobbit::core {
 
@@ -33,36 +34,20 @@ std::vector<const BlockResult*> PipelineResult::HomogeneousBlocks() const {
   return out;
 }
 
-namespace {
-
-/// Runs `body(i)` for i in [0, count), sharded across `threads` workers.
-/// Work items must be independent; results land wherever `body` writes.
-template <typename Body>
-void RunSharded(int threads, std::size_t count, Body body) {
-  if (threads <= 1 || count < 2) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-  const auto worker_count =
-      std::min<std::size_t>(static_cast<std::size_t>(threads), count);
-  std::vector<std::thread> workers;
-  workers.reserve(worker_count);
-  for (std::size_t w = 0; w < worker_count; ++w) {
-    workers.emplace_back([&, w] {
-      for (std::size_t i = w; i < count; i += worker_count) body(i);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-}
-
-}  // namespace
-
 PipelineResult RunPipeline(const netsim::Internet& internet,
                            const PipelineConfig& config,
                            const netsim::Simulator* simulator) {
   if (simulator == nullptr) simulator = internet.simulator.get();
   PipelineResult result;
   netsim::Rng rng(config.seed);
+
+  // One pool for the whole campaign, reused across the calibration and
+  // measurement stages (and shareable with the clustering stages via
+  // config.pool).  The pool clamps degenerate thread counts itself.
+  common::ThreadPool local_pool(config.pool != nullptr ? 1
+                                                       : config.threads);
+  common::ThreadPool* pool =
+      config.pool != nullptr ? config.pool : &local_pool;
 
   // Stage 0: snapshot + universe selection (liveness read through the
   // chosen simulator's epoch).
@@ -92,7 +77,7 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
       std::swap(indices[i], indices[j]);
     }
     result.calibration.resize(want);
-    RunSharded(config.threads, want, [&](std::size_t i) {
+    pool->ForEach(want, [&](std::size_t i) {
       BlockProber shard_prober(simulator, nullptr, config.prober);
       result.calibration[i] = shard_prober.ProbeBlockFully(
           result.study_blocks[indices[i]], rng.Fork(indices[i]));
@@ -107,13 +92,11 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
   {
     const std::uint64_t before = simulator->probes_sent();
     result.results.resize(result.study_blocks.size());
-    RunSharded(config.threads, result.study_blocks.size(),
-               [&](std::size_t i) {
-                 BlockProber shard_prober(simulator, &result.table,
-                                          config.prober);
-                 result.results[i] = shard_prober.ProbeBlock(
-                     result.study_blocks[i], rng.Fork(0xB10CULL + i));
-               });
+    pool->ForEach(result.study_blocks.size(), [&](std::size_t i) {
+      BlockProber shard_prober(simulator, &result.table, config.prober);
+      result.results[i] = shard_prober.ProbeBlock(
+          result.study_blocks[i], rng.Fork(0xB10CULL + i));
+    });
     result.stats.probes_sent += simulator->probes_sent() - before;
   }
   return result;

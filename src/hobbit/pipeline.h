@@ -19,14 +19,22 @@
 #include "netsim/internet.h"
 #include "probing/zmap.h"
 
+namespace hobbit::common {
+class ThreadPool;
+}
+
 namespace hobbit::core {
 
 struct PipelineConfig {
   std::uint64_t seed = 1;
-  /// Worker threads for the probing stages.  Results are identical for
-  /// any thread count (each block's probing is self-contained and
-  /// deterministically seeded).
+  /// Worker threads for the probing stages, run on a
+  /// common::ThreadPool.  Results are bit-identical for any thread count
+  /// (each block's probing is self-contained and deterministically
+  /// seeded); values < 1 clamp to 1.  Ignored when `pool` is set.
   int threads = 1;
+  /// Optional externally owned pool shared with the clustering stages;
+  /// when null, RunPipeline creates its own from `threads`.
+  common::ThreadPool* pool = nullptr;
   /// Blocks probed exhaustively in the calibration stage.
   int calibration_blocks = 1500;
   /// Random destination subsets evaluated per calibration block.

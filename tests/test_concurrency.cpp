@@ -1,12 +1,23 @@
 // Concurrency: Simulator::Send is const and documented safe for parallel
 // measurement threads; verify replies are identical regardless of
 // concurrent use and that the probe counter accounts for every packet.
+//
+// The second half checks the deterministic-sharding contract end to end:
+// RunPipeline, RunMcl, BuildSimilarityGraph and ValidateClusters must
+// produce byte-identical results for any thread count (see
+// src/common/parallel.h and DESIGN.md "Parallel execution model").
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "cluster/aggregate.h"
+#include "common/parallel.h"
+#include "hobbit/pipeline.h"
+#include "hobbit/resultio.h"
 #include "netsim/internet.h"
+#include "netsim/rng.h"
 #include "test_util.h"
 
 namespace hobbit::netsim {
@@ -72,6 +83,152 @@ TEST(Concurrency, ProbeCounterCountsEveryPacket) {
   for (std::thread& worker : workers) worker.join();
   EXPECT_EQ(simulator.probes_sent(),
             static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// The thread counts the determinism properties are checked over:
+// serial, the smallest parallel pool, a prime count that never divides
+// the work evenly, and whatever this machine actually has.
+std::vector<int> ThreadCounts() {
+  std::vector<int> counts = {1, 2, 7};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 1) counts.push_back(static_cast<int>(hw));
+  return counts;
+}
+
+TEST(DeterminismProperty, RunPipelineByteIdenticalAcrossThreadCounts) {
+  Internet internet = BuildInternet(TinyConfig(23));
+  std::string baseline;
+  std::uint64_t baseline_probes = 0;
+  for (int threads : ThreadCounts()) {
+    core::PipelineConfig config;
+    config.seed = 23;
+    config.threads = threads;
+    config.calibration_blocks = 40;
+    config.samples_per_block = 32;
+    core::PipelineResult result = core::RunPipeline(internet, config);
+    std::ostringstream serialized;
+    core::WriteResults(serialized, result.results);
+    if (threads == 1) {
+      baseline = serialized.str();
+      baseline_probes = result.stats.probes_sent;
+      ASSERT_FALSE(baseline.empty());
+      continue;
+    }
+    EXPECT_EQ(serialized.str(), baseline) << "threads=" << threads;
+    EXPECT_EQ(result.stats.probes_sent, baseline_probes)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismProperty, RunMclByteIdenticalAcrossThreadCounts) {
+  // Random graphs; clusters (and iteration counts) must not depend on
+  // the thread count in any way.
+  for (std::uint64_t seed : {3u, 11u, 29u}) {
+    Rng rng(seed);
+    cluster::Graph graph;
+    graph.vertex_count = 30 + static_cast<std::uint32_t>(rng.NextBelow(30));
+    for (std::uint32_t i = 0; i < graph.vertex_count; ++i) {
+      for (std::uint32_t j = i + 1; j < graph.vertex_count; ++j) {
+        if (rng.NextBool(0.15)) graph.edges.push_back({i, j, rng.NextUnit()});
+      }
+    }
+    cluster::MclResult baseline;
+    for (int threads : ThreadCounts()) {
+      cluster::MclParams params;
+      params.threads = threads;
+      cluster::MclResult result = cluster::RunMcl(graph, params);
+      if (threads == 1) {
+        baseline = std::move(result);
+        continue;
+      }
+      EXPECT_EQ(result.clusters, baseline.clusters)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(result.iterations, baseline.iterations)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+std::vector<cluster::AggregateBlock> RandomAggregates(std::uint64_t seed,
+                                                      std::size_t count) {
+  Rng rng(seed);
+  std::vector<cluster::AggregateBlock> aggregates(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    cluster::AggregateBlock& block = aggregates[v];
+    block.member_24s.push_back(Prefix::Of(
+        Ipv4Address(0x14000000u + static_cast<std::uint32_t>(v) * 256),
+        24));
+    const std::size_t hops = 1 + rng.NextBelow(6);
+    for (std::size_t h = 0; h < hops; ++h) {
+      block.last_hops.push_back(Ipv4Address(
+          0x0A000000u + static_cast<std::uint32_t>(rng.NextBelow(40))));
+    }
+    std::sort(block.last_hops.begin(), block.last_hops.end());
+    block.last_hops.erase(
+        std::unique(block.last_hops.begin(), block.last_hops.end()),
+        block.last_hops.end());
+  }
+  return aggregates;
+}
+
+TEST(DeterminismProperty, SimilarityGraphByteIdenticalAcrossThreadCounts) {
+  auto aggregates = RandomAggregates(77, 120);
+  cluster::Graph baseline = cluster::BuildSimilarityGraph(aggregates);
+  ASSERT_GT(baseline.edges.size(), 0u);
+  for (int threads : ThreadCounts()) {
+    common::ThreadPool pool(threads);
+    cluster::Graph graph = cluster::BuildSimilarityGraph(aggregates, &pool);
+    ASSERT_EQ(graph.vertex_count, baseline.vertex_count);
+    ASSERT_EQ(graph.edges.size(), baseline.edges.size())
+        << "threads=" << threads;
+    for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+      EXPECT_EQ(graph.edges[e].a, baseline.edges[e].a);
+      EXPECT_EQ(graph.edges[e].b, baseline.edges[e].b);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(graph.edges[e].weight, baseline.edges[e].weight)
+          << "threads=" << threads << " edge " << e;
+    }
+  }
+}
+
+TEST(DeterminismProperty, ValidationByteIdenticalAcrossThreadCounts) {
+  // Full chain on a tiny internet: aggregation, MCL, then reprobing
+  // validation — verdicts and pair ratios must match bit for bit.
+  Internet internet = BuildInternet(TinyConfig(31));
+  core::PipelineConfig config;
+  config.seed = 31;
+  config.calibration_blocks = 40;
+  config.samples_per_block = 32;
+  core::PipelineResult pipeline = core::RunPipeline(internet, config);
+  auto aggregates =
+      cluster::AggregateIdentical(pipeline.HomogeneousBlocks());
+  ASSERT_GT(aggregates.size(), 0u);
+
+  std::vector<double> baseline_ratios;
+  std::vector<bool> baseline_validated;
+  for (int threads : ThreadCounts()) {
+    cluster::MclAggregationParams mcl_params;
+    mcl_params.mcl.threads = threads;
+    cluster::MclAggregationResult mcl =
+        cluster::RunMclAggregation(aggregates, mcl_params);
+    cluster::ValidationParams validation;
+    validation.threads = threads;
+    cluster::ValidateClusters(internet, pipeline.study_blocks, aggregates,
+                              mcl, validation);
+    std::vector<double> ratios;
+    std::vector<bool> validated;
+    for (const auto& cluster : mcl.clusters) {
+      ratios.push_back(cluster.identical_pair_ratio);
+      validated.push_back(cluster.validated_homogeneous);
+    }
+    if (threads == 1) {
+      baseline_ratios = std::move(ratios);
+      baseline_validated = std::move(validated);
+      continue;
+    }
+    EXPECT_EQ(ratios, baseline_ratios) << "threads=" << threads;
+    EXPECT_EQ(validated, baseline_validated) << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <set>
 
+#include "cluster/sparse.h"
+#include "common/parallel.h"
 #include "netsim/rng.h"
 
 namespace hobbit::cluster {
@@ -164,6 +166,89 @@ TEST_P(MclPartitionProperty, AlwaysAPartition) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MclPartitionProperty,
                          ::testing::Values(1, 5, 9, 13, 21, 101));
+
+// --- Numerical invariants under the parallel (column-sharded) kernels ---
+
+SparseMatrix RandomStochasticMatrix(std::uint64_t seed, std::uint32_t n) {
+  netsim::Rng rng(seed);
+  std::vector<SparseMatrix::Triplet> triplets;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    triplets.push_back({c, c, 0.5 + rng.NextUnit()});
+    const std::size_t extra = 1 + rng.NextBelow(8);
+    for (std::size_t k = 0; k < extra; ++k) {
+      triplets.push_back({static_cast<std::uint32_t>(rng.NextBelow(n)), c,
+                          0.01 + rng.NextUnit()});
+    }
+  }
+  SparseMatrix m = SparseMatrix::FromTriplets(n, std::move(triplets));
+  m.NormalizeColumns();
+  return m;
+}
+
+void ExpectColumnStochastic(const SparseMatrix& m) {
+  for (std::uint32_t c = 0; c < m.size(); ++c) {
+    SparseMatrix::ColumnView col = m.Column(c);
+    if (col.count == 0) continue;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < col.count; ++i) sum += col.values[i];
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "column " << c;
+  }
+}
+
+TEST(MclInvariants, ParallelInflationKeepsColumnsStochastic) {
+  common::ThreadPool pool(4);
+  SparseMatrix m = RandomStochasticMatrix(17, 64);
+  m.Inflate(2.0, &pool);
+  ExpectColumnStochastic(m);
+  m.Inflate(3.5, &pool);
+  ExpectColumnStochastic(m);
+}
+
+TEST(MclInvariants, ParallelInflationBitIdenticalToSerial) {
+  SparseMatrix serial = RandomStochasticMatrix(29, 80);
+  SparseMatrix parallel = RandomStochasticMatrix(29, 80);
+  common::ThreadPool pool(7);
+  serial.Inflate(2.0);
+  parallel.Inflate(2.0, &pool);
+  ASSERT_EQ(serial.nonzeros(), parallel.nonzeros());
+  EXPECT_EQ(serial.MaxDifference(parallel), 0.0);
+}
+
+TEST(MclInvariants, ParallelExpansionAndPruneStayStochastic) {
+  common::ThreadPool pool(4);
+  SparseMatrix m = RandomStochasticMatrix(5, 48);
+  SparseMatrix squared = m.Multiply(m, &pool);
+  squared.Prune(1e-5, 8, &pool);
+  ExpectColumnStochastic(squared);
+}
+
+TEST(MclInvariants, PruningYieldsIdenticalClustersSerialVsParallel) {
+  // Aggressive pruning settings: the serial and parallel paths must pick
+  // the same survivors per column and hence the same clusters.
+  netsim::Rng rng(83);
+  Graph g;
+  g.vertex_count = 40;
+  for (std::uint32_t i = 0; i < g.vertex_count; ++i) {
+    for (std::uint32_t j = i + 1; j < g.vertex_count; ++j) {
+      if (rng.NextBool(0.2)) g.edges.push_back({i, j, rng.NextUnit()});
+    }
+  }
+  for (auto [threshold, max_entries] :
+       {std::pair<double, std::size_t>{1e-3, 3},
+        std::pair<double, std::size_t>{1e-5, 8},
+        std::pair<double, std::size_t>{1e-2, 64}}) {
+    MclParams serial;
+    serial.prune_threshold = threshold;
+    serial.max_entries_per_column = max_entries;
+    MclParams parallel = serial;
+    parallel.threads = 5;
+    MclResult a = RunMcl(g, serial);
+    MclResult b = RunMcl(g, parallel);
+    EXPECT_EQ(a.clusters, b.clusters)
+        << "threshold=" << threshold << " max=" << max_entries;
+    EXPECT_EQ(a.iterations, b.iterations);
+  }
+}
 
 }  // namespace
 }  // namespace hobbit::cluster

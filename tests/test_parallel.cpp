@@ -1,0 +1,174 @@
+// Unit tests for the shared deterministic thread pool
+// (src/common/parallel.h): shard boundary coverage, the documented
+// degenerate cases, exception propagation out of worker bodies, and pool
+// reuse across successive ForEach calls.
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hobbit::common {
+namespace {
+
+TEST(ThreadPool, ClampsDegenerateThreadCounts) {
+  EXPECT_EQ(ThreadPool(0).thread_count(), 1);
+  EXPECT_EQ(ThreadPool(-7).thread_count(), 1);
+  EXPECT_EQ(ThreadPool(1).thread_count(), 1);
+  EXPECT_EQ(ThreadPool(4).thread_count(), 4);
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ForEach(0, [&](std::size_t) { ++calls; });
+  pool.ForEachShard(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleItemRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  std::thread::id body_thread;
+  pool.ForEach(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, std::this_thread::get_id());
+}
+
+// Every index in [0, count) must be visited exactly once, for counts
+// below, at, and far above the thread count.
+class ThreadPoolCoverage
+    : public ::testing::TestWithParam<std::pair<int, std::size_t>> {};
+
+TEST_P(ThreadPoolCoverage, EveryIndexExactlyOnce) {
+  const auto [threads, count] = GetParam();
+  ThreadPool pool(threads);
+  std::vector<std::atomic<int>> visits(count);
+  pool.ForEach(count, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardBoundaries, ThreadPoolCoverage,
+    ::testing::Values(std::pair<int, std::size_t>{8, 3},    // count < threads
+                      std::pair<int, std::size_t>{8, 8},    // count == threads
+                      std::pair<int, std::size_t>{8, 9},    // one extra item
+                      std::pair<int, std::size_t>{3, 10000},  // large count
+                      std::pair<int, std::size_t>{1, 100}));  // serial pool
+
+TEST(ThreadPool, ShardAssignmentIsTheDocumentedFunction) {
+  // Item i must run on shard i % shard_count, with
+  // shard_count == min(thread_count, count).
+  ThreadPool pool(5);
+  const std::size_t count = 23;
+  std::vector<int> shard_of(count, -1);
+  pool.ForEachShard(count, [&](std::size_t shard, std::size_t shard_count) {
+    EXPECT_EQ(shard_count, 5u);
+    for (std::size_t i = shard; i < count; i += shard_count) {
+      shard_of[i] = static_cast<int>(shard);
+    }
+  });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(shard_of[i], static_cast<int>(i % 5)) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ShardCountShrinksToCount) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ForEachShard(3, [&](std::size_t shard, std::size_t shard_count) {
+    EXPECT_EQ(shard_count, 3u);
+    EXPECT_LT(shard, 3u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ForEach(100,
+                            [&](std::size_t i) {
+                              if (i == 37) {
+                                throw std::runtime_error("worker failed");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, LowestShardsExceptionWinsDeterministically) {
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      pool.ForEach(64, [&](std::size_t i) {
+        throw std::runtime_error(std::to_string(i % 4));
+      });
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& error) {
+      // Shard s fails first at item i == s; shard 0 (the caller) wins.
+      EXPECT_STREQ(error.what(), "0");
+    }
+  }
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ForEach(8, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.ForEach(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ReusedAcrossSuccessiveForEachCalls) {
+  // The pool's persistent workers must serve many jobs back to back,
+  // including mixes of ForEach and ForEachShard.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  long expected = 0;
+  for (int round = 1; round <= 50; ++round) {
+    const std::size_t count = static_cast<std::size_t>(round * 7 % 13 + 1);
+    pool.ForEach(count, [&](std::size_t i) {
+      total += static_cast<long>(i) + round;
+    });
+    expected += static_cast<long>(count) * round +
+                static_cast<long>(count * (count - 1) / 2);
+  }
+  pool.ForEachShard(40, [&](std::size_t shard, std::size_t shard_count) {
+    for (std::size_t i = shard; i < 40; i += shard_count) total += 1;
+  });
+  expected += 40;
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPool, NestedCallsRunSeriallyWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  pool.ForEach(8, [&](std::size_t) {
+    pool.ForEach(5, [&](std::size_t) { ++inner_calls; });
+  });
+  EXPECT_EQ(inner_calls.load(), 40);
+}
+
+TEST(FreeForEach, NullPoolRunsSeriallyInOrder) {
+  std::vector<std::size_t> order;
+  ForEach(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  int shard_calls = 0;
+  ForEachShard(nullptr, 7, [&](std::size_t shard, std::size_t shard_count) {
+    EXPECT_EQ(shard, 0u);
+    EXPECT_EQ(shard_count, 1u);
+    ++shard_calls;
+  });
+  EXPECT_EQ(shard_calls, 1);
+}
+
+}  // namespace
+}  // namespace hobbit::common

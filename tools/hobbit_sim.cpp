@@ -25,6 +25,7 @@
 #include "analysis/report.h"
 #include "cluster/aggregate.h"
 #include "cluster/blockio.h"
+#include "common/parallel.h"
 #include "hobbit/hierarchy.h"
 #include "hobbit/pipeline.h"
 #include "hobbit/resultio.h"
@@ -121,10 +122,13 @@ int CmdGenerate(const Args& args) {
 
 int CmdMeasure(const Args& args) {
   netsim::Internet internet = BuildWorld(args);
+  // One pool serves probing, MCL clustering and validation reprobing;
+  // --threads is the single knob for the whole campaign.
+  common::ThreadPool pool(std::atoi(args.Get("threads", "1").c_str()));
   core::PipelineConfig config;
   config.seed =
       std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
-  config.threads = std::atoi(args.Get("threads", "1").c_str());
+  config.pool = &pool;
   core::PipelineResult result = core::RunPipeline(internet, config);
 
   auto counts = result.classification_counts();
@@ -148,9 +152,13 @@ int CmdMeasure(const Args& args) {
     auto aggregates =
         cluster::AggregateIdentical(result.HomogeneousBlocks());
     if (args.Has("mcl")) {
-      auto mcl = cluster::RunMclAggregation(aggregates);
+      cluster::MclAggregationParams mcl_params;
+      mcl_params.mcl.pool = &pool;
+      auto mcl = cluster::RunMclAggregation(aggregates, mcl_params);
+      cluster::ValidationParams validation;
+      validation.pool = &pool;
       cluster::ValidateClusters(internet, result.study_blocks, aggregates,
-                                mcl);
+                                mcl, validation);
       aggregates = cluster::MergeValidatedClusters(aggregates, mcl);
     }
     std::ofstream out(args.Get("blocks", ""));
