@@ -1,0 +1,118 @@
+// bench_serve — serving-layer lookup throughput.
+//
+// Compiles the shared world's final block list into a snapshot, then
+// measures the lookup engine: single-threaded exact lookups, batched
+// lookups across thread counts, and covering queries.  The ROADMAP
+// target is >= 1M lookups/sec on the seed-scale snapshot; the query mix
+// is half hits (member /24s) and half misses (shifted keys), shuffled
+// deterministically, which is the unfriendliest realistic case for the
+// branch predictor.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "common/parallel.h"
+#include "netsim/rng.h"
+#include "serve/lookup.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace hobbit;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("serve lookup throughput",
+                     "serving layer (no paper figure)");
+  const bench::World& world = bench::GetWorld();
+
+  auto buffer = serve::CompileSnapshot(
+      world.final_blocks,
+      serve::ClassifiedFrom(
+          std::span<const core::BlockResult>(world.pipeline.results)),
+      world.seed);
+  std::string error;
+  auto snapshot = serve::Snapshot::FromBuffer(std::move(buffer), &error);
+  if (!snapshot) {
+    std::printf("snapshot compile failed: %s\n", error.c_str());
+    return 1;
+  }
+  serve::LookupEngine engine(*snapshot);
+  std::printf("snapshot: %zu entries, %zu blocks, %zu bytes\n",
+              snapshot->entry_count(), snapshot->block_count(),
+              snapshot->buffer_bytes());
+
+  // Query mix: every entry once as a hit and once shifted as a miss,
+  // repeated until ~4M queries, then shuffled.
+  std::vector<std::uint32_t> queries;
+  const std::size_t target = 1 << 22;
+  while (queries.size() < target) {
+    for (std::size_t i = 0; i < snapshot->entry_count(); ++i) {
+      queries.push_back(snapshot->EntryKey(i));
+      queries.push_back(snapshot->EntryKey(i) ^ 0x00800000u);
+    }
+    if (snapshot->entry_count() == 0) break;
+  }
+  netsim::Rng rng(7);
+  for (std::size_t i = queries.size(); i > 1; --i) {
+    std::swap(queries[i - 1], queries[rng.NextBelow(i)]);
+  }
+
+  // Single-threaded, one call per query.
+  std::size_t hits = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint32_t key : queries) {
+    hits += engine.Lookup(netsim::Ipv4Address(key)).found ? 1 : 0;
+  }
+  double elapsed = Seconds(start);
+  std::printf("single-thread : %8.0f klookups/s  (%zu/%zu hits, %.3fs)\n",
+              queries.size() / elapsed / 1e3, hits, queries.size(),
+              elapsed);
+
+  // Batched across thread counts.
+  std::vector<serve::LookupResult> answers(queries.size());
+  for (int threads : {1, 2, 4, 8}) {
+    common::ThreadPool pool(threads);
+    start = std::chrono::steady_clock::now();
+    engine.LookupBatch(queries, answers, &pool);
+    elapsed = Seconds(start);
+    std::size_t batch_hits = 0;
+    for (const auto& a : answers) batch_hits += a.found ? 1 : 0;
+    std::printf("batch %2d thr  : %8.0f klookups/s  (%zu hits, %.3fs)\n",
+                threads, queries.size() / elapsed / 1e3, batch_hits,
+                elapsed);
+  }
+
+  // Covering queries: one per distinct /16 in the entry set.
+  std::vector<netsim::Prefix> sixteens;
+  for (std::size_t i = 0; i < snapshot->entry_count(); ++i) {
+    netsim::Prefix p = netsim::Prefix::Of(
+        netsim::Ipv4Address(snapshot->EntryKey(i)), 16);
+    if (sixteens.empty() || !(sixteens.back() == p)) sixteens.push_back(p);
+  }
+  std::size_t covered = 0;
+  start = std::chrono::steady_clock::now();
+  constexpr int kCoverRounds = 200;
+  for (int round = 0; round < kCoverRounds; ++round) {
+    for (const auto& p : sixteens) {
+      covered += engine.Covering(p).size();
+    }
+  }
+  elapsed = Seconds(start);
+  std::printf(
+      "covering /16  : %8.0f kqueries/s  (%zu /16s, %.1f entries avg)\n",
+      kCoverRounds * sixteens.size() / elapsed / 1e3, sixteens.size(),
+      sixteens.empty()
+          ? 0.0
+          : static_cast<double>(covered) / (kCoverRounds * sixteens.size()));
+  return 0;
+}

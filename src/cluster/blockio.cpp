@@ -111,22 +111,31 @@ std::optional<std::vector<AggregateBlock>> ReadBlocks(std::istream& is,
 }
 
 BlockIndex::BlockIndex(std::span<const AggregateBlock> blocks) {
+  std::vector<std::pair<std::uint32_t, int>> entries;
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     for (const netsim::Prefix& p : blocks[b].member_24s) {
-      entries_.emplace_back(p, static_cast<int>(b));
+      entries.emplace_back(p.base().value(), static_cast<int>(b));
     }
   }
-  std::sort(entries_.begin(), entries_.end());
+  std::sort(entries.begin(), entries.end());
+  keys_.reserve(entries.size());
+  ids_.reserve(entries.size());
+  for (const auto& [key, id] : entries) {
+    keys_.push_back(key);
+    ids_.push_back(id);
+  }
 }
 
 int BlockIndex::BlockOf(const netsim::Prefix& slash24) const {
-  auto pos = std::lower_bound(
-      entries_.begin(), entries_.end(), slash24,
-      [](const std::pair<netsim::Prefix, int>& e, const netsim::Prefix& p) {
-        return e.first < p;
-      });
-  if (pos == entries_.end() || !(pos->first == slash24)) return -1;
-  return pos->second;
+  if (slash24.length() != 24) return -1;
+  return BlockOf(slash24.base());
+}
+
+int BlockIndex::BlockOf(netsim::Ipv4Address address) const {
+  const std::uint32_t key = address.value() & 0xFFFFFF00u;
+  auto pos = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (pos == keys_.end() || *pos != key) return -1;
+  return ids_[static_cast<std::size_t>(pos - keys_.begin())];
 }
 
 }  // namespace hobbit::cluster

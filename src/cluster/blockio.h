@@ -11,6 +11,7 @@
 //   B<id> hops=<ip>[,<ip>...] members=<prefix>[,<prefix>...]
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <span>
@@ -29,16 +30,28 @@ void WriteBlocks(std::ostream& os, std::span<const AggregateBlock> blocks);
 std::optional<std::vector<AggregateBlock>> ReadBlocks(
     std::istream& is, std::string* error = nullptr);
 
-/// Finds the block containing a /24 (linear index built once).
+/// Finds the block containing a /24: binary search over a packed, sorted
+/// array of /24 base addresses (4 bytes per probe, cache-dense).  This is
+/// also the reference implementation that the serving layer's compiled
+/// snapshot engine (serve::LookupEngine) is differential-tested against —
+/// keep its answers authoritative.
 class BlockIndex {
  public:
   explicit BlockIndex(std::span<const AggregateBlock> blocks);
 
-  /// Index into the original span, or -1.
+  /// Index into the original span, or -1.  Non-/24 prefixes answer -1
+  /// (member lists only ever hold /24s).
   int BlockOf(const netsim::Prefix& slash24) const;
 
+  /// The block whose member /24 covers `address`, or -1.
+  int BlockOf(netsim::Ipv4Address address) const;
+
+  /// Total member /24s indexed.
+  std::size_t size() const { return keys_.size(); }
+
  private:
-  std::vector<std::pair<netsim::Prefix, int>> entries_;  // sorted
+  std::vector<std::uint32_t> keys_;  // member-/24 base addresses, sorted
+  std::vector<int> ids_;             // parallel owning-block indices
 };
 
 }  // namespace hobbit::cluster

@@ -1,0 +1,74 @@
+#include "serve/lookup.h"
+
+#include <algorithm>
+
+namespace hobbit::serve {
+
+std::size_t LookupEngine::LowerBound(std::uint32_t key) const {
+  std::size_t lo = 0;
+  std::size_t hi = snapshot_->entry_count();
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (snapshot_->EntryKey(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+LookupResult LookupEngine::LookupKey(std::uint32_t key) const {
+  std::size_t pos = LowerBound(key);
+  if (pos == snapshot_->entry_count() || snapshot_->EntryKey(pos) != key) {
+    return LookupResult{};
+  }
+  return LookupResult{true, key, snapshot_->EntryBlock(pos),
+                      snapshot_->EntryClass(pos)};
+}
+
+EntryRange LookupEngine::Covering(const netsim::Prefix& prefix) const {
+  // A /24 entry lies inside `prefix` iff its key is in
+  // [prefix.First(), prefix.Last()]; for prefixes longer than /24 the
+  // range can only catch the covering /24 itself, which is right: a /26
+  // "covers" no whole /24 unless you count its parent — it does not.
+  if (prefix.length() > 24) return EntryRange{};
+  std::size_t begin = LowerBound(prefix.First().value());
+  std::size_t end = begin;
+  const std::uint32_t last = prefix.Last().value();
+  // Advance by binary search, not a scan: first key > last.
+  std::size_t lo = begin;
+  std::size_t hi = snapshot_->entry_count();
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (snapshot_->EntryKey(mid) <= last) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  end = lo;
+  return EntryRange{begin, end};
+}
+
+std::size_t LookupEngine::DistinctBlocks(const EntryRange& range) const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(range.size());
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    std::uint32_t block = snapshot_->EntryBlock(i);
+    if (block != kNoBlock) ids.push_back(block);
+  }
+  std::sort(ids.begin(), ids.end());
+  return static_cast<std::size_t>(
+      std::unique(ids.begin(), ids.end()) - ids.begin());
+}
+
+void LookupEngine::LookupBatch(std::span<const std::uint32_t> keys,
+                               std::span<LookupResult> answers,
+                               common::ThreadPool* pool) const {
+  common::ForEach(pool, keys.size(), [&](std::size_t i) {
+    answers[i] = LookupKey(keys[i]);
+  });
+}
+
+}  // namespace hobbit::serve

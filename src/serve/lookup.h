@@ -1,0 +1,80 @@
+// lookup.h — the query engine over a loaded snapshot.
+//
+// The hot path of the serving layer: given a validated serve::Snapshot,
+// answer "which block (and classification) owns this /24" in O(log n) via
+// binary search over the snapshot's packed key array, and answer
+// covering-prefix queries ("which measured /24s does 20.0.0.0/16 cover")
+// as one equal-range probe.  A batched entry point shards large query
+// lists over the shared common::ThreadPool with the usual deterministic
+// item->shard contract — output slot i always holds the answer for query
+// i, whatever the thread count.
+//
+// The engine borrows the snapshot (no ownership): callers doing RCU
+// hot-swap construct a fresh engine per acquired shared_ptr, which is one
+// pointer copy — all state lives in the snapshot buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/parallel.h"
+#include "serve/snapshot.h"
+
+namespace hobbit::serve {
+
+/// Answer for one /24 (or address) query.
+struct LookupResult {
+  bool found = false;
+  std::uint32_t key = 0;                    // matched /24 base address
+  std::uint32_t block = kNoBlock;           // owning block id or kNoBlock
+  std::uint8_t class_token = kNoClass;      // Classification or kNoClass
+};
+
+/// Half-open entry-index range [begin, end) — the covering-query answer.
+struct EntryRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+class LookupEngine {
+ public:
+  explicit LookupEngine(const Snapshot& snapshot) : snapshot_(&snapshot) {}
+
+  /// Exact lookup of the /24 containing `address`.
+  LookupResult Lookup(netsim::Ipv4Address address) const {
+    return LookupKey(address.value() & 0xFFFFFF00u);
+  }
+
+  /// Exact lookup of a /24 prefix.  Non-/24 prefixes miss by definition
+  /// (use Covering for shorter prefixes).
+  LookupResult Lookup(const netsim::Prefix& prefix) const {
+    if (prefix.length() != 24) return LookupResult{};
+    return LookupKey(prefix.base().value());
+  }
+
+  /// Entries whose /24 lies inside `prefix` (any length).  O(log n).
+  EntryRange Covering(const netsim::Prefix& prefix) const;
+
+  /// Distinct block ids (kNoBlock excluded) across an entry range.
+  std::size_t DistinctBlocks(const EntryRange& range) const;
+
+  /// Batched exact lookups: answers[i] is the result for keys[i] (each a
+  /// /24 base address).  Shards over `pool`; null pool runs serial.
+  void LookupBatch(std::span<const std::uint32_t> keys,
+                   std::span<LookupResult> answers,
+                   common::ThreadPool* pool = nullptr) const;
+
+  const Snapshot& snapshot() const { return *snapshot_; }
+
+ private:
+  LookupResult LookupKey(std::uint32_t key) const;
+  /// First entry index with key >= `key`.
+  std::size_t LowerBound(std::uint32_t key) const;
+
+  const Snapshot* snapshot_;
+};
+
+}  // namespace hobbit::serve

@@ -1,0 +1,52 @@
+#include "serve/metrics.h"
+
+#include <sstream>
+
+namespace hobbit::serve {
+
+std::uint64_t LatencyHistogram::TotalCount() const {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t LatencyHistogram::Quantile(double q) const {
+  std::uint64_t total = TotalCount();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the requested sample, 1-based.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * (total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Geometric midpoint of [2^b, 2^(b+1)): 2^b * 1.5, except the
+      // first bucket which holds 0..1 ns.
+      return b == 0 ? 1 : (std::uint64_t{1} << b) + (std::uint64_t{1} << (b - 1));
+    }
+  }
+  return std::uint64_t{1} << (kBuckets - 1);
+}
+
+std::string ServeMetrics::Format(std::uint64_t generation,
+                                 std::uint64_t epoch) const {
+  std::ostringstream os;
+  os << "lookups=" << lookups.load(std::memory_order_relaxed)
+     << " hits=" << hits.load(std::memory_order_relaxed)
+     << " misses=" << misses.load(std::memory_order_relaxed)
+     << " batches=" << batches.load(std::memory_order_relaxed)
+     << " covering=" << covering_queries.load(std::memory_order_relaxed)
+     << " reloads=" << reloads.load(std::memory_order_relaxed)
+     << " failed_reloads=" << failed_reloads.load(std::memory_order_relaxed)
+     << " generation=" << generation << " epoch=" << epoch << "\n";
+  os << "latency_ns p50=" << latency.Quantile(0.50)
+     << " p90=" << latency.Quantile(0.90)
+     << " p99=" << latency.Quantile(0.99)
+     << " samples=" << latency.TotalCount();
+  return os.str();
+}
+
+}  // namespace hobbit::serve

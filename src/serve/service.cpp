@@ -1,0 +1,213 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "hobbit/resultio.h"
+#include "serve/lookup.h"
+
+namespace hobbit::serve {
+namespace {
+
+/// Largest accepted BATCH size — bounds per-command allocation.
+constexpr std::size_t kMaxBatch = 1u << 20;
+
+std::string_view ClassName(std::uint8_t token) {
+  if (token == kNoClass) return "-";
+  return core::ClassificationToken(static_cast<core::Classification>(token));
+}
+
+/// Splits "CMD arg" on the first space; arg may itself contain spaces
+/// (RELOAD paths), so no further splitting.
+std::pair<std::string, std::string> SplitCommand(const std::string& line) {
+  std::size_t space = line.find(' ');
+  if (space == std::string::npos) return {line, ""};
+  std::size_t arg_start = line.find_first_not_of(' ', space);
+  if (arg_start == std::string::npos) return {line.substr(0, space), ""};
+  return {line.substr(0, space), line.substr(arg_start)};
+}
+
+/// A query is an address ("1.2.3.4") or a /24 ("1.2.3.0/24"); either way
+/// the exact-lookup key is the covering /24's base.  Returns false on
+/// syntax errors or non-/24 prefixes.
+bool ParseExactQuery(const std::string& text, std::uint32_t* key) {
+  if (auto address = netsim::Ipv4Address::Parse(text)) {
+    *key = address->value() & 0xFFFFFF00u;
+    return true;
+  }
+  if (auto prefix = netsim::Prefix::Parse(text)) {
+    if (prefix->length() != 24) return false;
+    *key = prefix->base().value();
+    return true;
+  }
+  return false;
+}
+
+void PrintExact(std::ostream& out, const Snapshot& snapshot,
+                const LookupResult& result, const std::string& shown) {
+  if (!result.found) {
+    out << "MISS " << shown << "\n";
+    return;
+  }
+  out << "HIT "
+      << netsim::Prefix::Of(netsim::Ipv4Address(result.key), 24).ToString()
+      << " block=";
+  if (result.block == kNoBlock) {
+    out << "- class=" << ClassName(result.class_token)
+        << " members=- hops=-\n";
+  } else {
+    out << result.block << " class=" << ClassName(result.class_token)
+        << " members=" << snapshot.BlockMemberCount(result.block)
+        << " hops=" << snapshot.BlockHopCount(result.block) << "\n";
+  }
+}
+
+}  // namespace
+
+std::size_t LineService::Run(std::istream& in, std::ostream& out) {
+  std::size_t commands = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++commands;
+    if (!HandleCommand(line, in, out)) break;
+  }
+  return commands;
+}
+
+bool LineService::HandleCommand(const std::string& line, std::istream& in,
+                                std::ostream& out) {
+  auto start = std::chrono::steady_clock::now();
+  auto [command, arg] = SplitCommand(line);
+  bool keep_going = true;
+  if (command == "LOOKUP") {
+    CmdLookup(arg, out);
+  } else if (command == "BATCH") {
+    CmdBatch(arg, in, out);
+  } else if (command == "RELOAD") {
+    CmdReload(arg, out);
+  } else if (command == "STATS") {
+    CmdStats(out);
+  } else if (command == "QUIT") {
+    out << "BYE\n";
+    keep_going = false;
+  } else {
+    out << "ERR unknown command: " << command << "\n";
+  }
+  auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  metrics_->latency.Record(static_cast<std::uint64_t>(nanos));
+  out.flush();
+  return keep_going;
+}
+
+void LineService::CmdLookup(const std::string& arg, std::ostream& out) {
+  std::shared_ptr<const Snapshot> snapshot = store_->Current();
+  if (snapshot == nullptr) {
+    out << "ERR no snapshot loaded\n";
+    return;
+  }
+  LookupEngine engine(*snapshot);
+  std::uint32_t key = 0;
+  if (ParseExactQuery(arg, &key)) {
+    metrics_->lookups.fetch_add(1, std::memory_order_relaxed);
+    LookupResult result = engine.Lookup(netsim::Ipv4Address(key));
+    (result.found ? metrics_->hits : metrics_->misses)
+        .fetch_add(1, std::memory_order_relaxed);
+    PrintExact(out, *snapshot, result, arg);
+    return;
+  }
+  if (auto prefix = netsim::Prefix::Parse(arg);
+      prefix && prefix->length() < 24) {
+    metrics_->covering_queries.fetch_add(1, std::memory_order_relaxed);
+    EntryRange range = engine.Covering(*prefix);
+    out << "COVER " << prefix->ToString() << " entries=" << range.size()
+        << " blocks=" << engine.DistinctBlocks(range) << "\n";
+    return;
+  }
+  out << "ERR bad query: " << arg << "\n";
+}
+
+void LineService::CmdBatch(const std::string& arg, std::istream& in,
+                           std::ostream& out) {
+  std::size_t count = 0;
+  try {
+    count = std::stoul(arg);
+  } catch (...) {
+    out << "ERR bad batch size: " << arg << "\n";
+    return;
+  }
+  if (count > kMaxBatch) {
+    out << "ERR batch too large: " << arg << "\n";
+    return;
+  }
+  // The n query lines are consumed even when no snapshot is loaded, so
+  // the stream stays in protocol sync.
+  std::vector<std::string> queries(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, queries[i])) {
+      out << "ERR batch truncated at query " << i << "\n";
+      return;
+    }
+  }
+  std::shared_ptr<const Snapshot> snapshot = store_->Current();
+  if (snapshot == nullptr) {
+    out << "ERR no snapshot loaded\n";
+    return;
+  }
+  LookupEngine engine(*snapshot);
+  // Parse up front; only well-formed queries enter the sharded batch.
+  std::vector<std::uint32_t> keys(count, 0);
+  std::vector<bool> valid(count, false);
+  for (std::size_t i = 0; i < count; ++i) {
+    valid[i] = ParseExactQuery(queries[i], &keys[i]);
+  }
+  std::vector<LookupResult> answers(count);
+  engine.LookupBatch(keys, answers, pool_);
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!valid[i]) {
+      out << "ERR bad query: " << queries[i] << "\n";
+      continue;
+    }
+    (answers[i].found ? hits : misses) += 1;
+    PrintExact(out, *snapshot, answers[i], queries[i]);
+  }
+  metrics_->batches.fetch_add(1, std::memory_order_relaxed);
+  metrics_->lookups.fetch_add(hits + misses, std::memory_order_relaxed);
+  metrics_->hits.fetch_add(hits, std::memory_order_relaxed);
+  metrics_->misses.fetch_add(misses, std::memory_order_relaxed);
+  out << "OK " << count << "\n";
+}
+
+void LineService::CmdReload(const std::string& arg, std::ostream& out) {
+  if (arg.empty()) {
+    out << "ERR reload needs a path\n";
+    return;
+  }
+  std::string error;
+  if (!store_->ReloadFromFile(arg, &error)) {
+    metrics_->failed_reloads.fetch_add(1, std::memory_order_relaxed);
+    out << "ERR reload failed: " << error << "\n";
+    return;
+  }
+  metrics_->reloads.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const Snapshot> snapshot = store_->Current();
+  out << "OK generation=" << store_->generation()
+      << " entries=" << snapshot->entry_count()
+      << " blocks=" << snapshot->block_count()
+      << " epoch=" << snapshot->epoch() << "\n";
+}
+
+void LineService::CmdStats(std::ostream& out) {
+  std::shared_ptr<const Snapshot> snapshot = store_->Current();
+  out << metrics_->Format(store_->generation(),
+                          snapshot ? snapshot->epoch() : 0)
+      << "\n";
+}
+
+}  // namespace hobbit::serve

@@ -1,0 +1,63 @@
+// service.h — the hobbit_serve line protocol, as a library.
+//
+// One command per line on the input stream, one reply (or a reply block)
+// on the output stream — the transport-agnostic core that tools/
+// hobbit_serve.cpp wires to stdin/stdout and tests drive with
+// stringstreams.
+//
+//   LOOKUP <ip|prefix>   exact /24 membership (address or a.b.c.0/24), or
+//                        a covering summary for shorter prefixes
+//                          HIT 20.0.1.0/24 block=3 class=same-last-hop
+//                              members=4 hops=2
+//                          MISS 9.9.9.0/24
+//                          COVER 20.0.0.0/16 entries=12 blocks=5
+//   BATCH <n>            the next n lines are queries (ip or /24); n reply
+//                        lines in input order, then "OK <n>".  Batches
+//                        shard over the service's thread pool.
+//   RELOAD <path>        validate + RCU-swap a new snapshot
+//                          OK generation=2 entries=128 blocks=17 epoch=7
+//                          ERR reload failed: payload checksum mismatch
+//   STATS                counters + latency percentiles (two lines)
+//   QUIT                 "BYE", end of session
+//
+// Anything else answers "ERR ..." and the session continues; blank lines
+// and '#' comments are ignored (so a command file can be annotated).
+// Queries against an empty store answer "ERR no snapshot loaded".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/parallel.h"
+#include "serve/metrics.h"
+#include "serve/store.h"
+
+namespace hobbit::serve {
+
+class LineService {
+ public:
+  /// Borrows all three; `pool` may be null (serial batches).
+  LineService(SnapshotStore* store, ServeMetrics* metrics,
+              common::ThreadPool* pool = nullptr)
+      : store_(store), metrics_(metrics), pool_(pool) {}
+
+  /// Serves until EOF or QUIT.  Returns the number of commands handled.
+  std::size_t Run(std::istream& in, std::ostream& out);
+
+  /// Handles one command line; BATCH reads its query lines from `in`.
+  /// Returns false when the session should end (QUIT).
+  bool HandleCommand(const std::string& line, std::istream& in,
+                     std::ostream& out);
+
+ private:
+  void CmdLookup(const std::string& arg, std::ostream& out);
+  void CmdBatch(const std::string& arg, std::istream& in, std::ostream& out);
+  void CmdReload(const std::string& arg, std::ostream& out);
+  void CmdStats(std::ostream& out);
+
+  SnapshotStore* store_;
+  ServeMetrics* metrics_;
+  common::ThreadPool* pool_;
+};
+
+}  // namespace hobbit::serve

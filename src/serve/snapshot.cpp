@@ -1,0 +1,282 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <utility>
+
+namespace hobbit::serve {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void AppendU32(std::vector<std::byte>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::byte>((value >> shift) & 0xFF));
+  }
+}
+
+void AppendU64(std::vector<std::byte>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::byte>((value >> shift) & 0xFF));
+  }
+}
+
+std::uint32_t ReadU32(const std::byte* p) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | std::to_integer<std::uint32_t>(p[i]);
+  }
+  return value;
+}
+
+std::uint64_t ReadU64(const std::byte* p) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | std::to_integer<std::uint64_t>(p[i]);
+  }
+  return value;
+}
+
+std::size_t PadTo4(std::size_t n) { return (4 - n % 4) % 4; }
+
+/// Derived payload size for given section counts.
+std::uint64_t PayloadBytesFor(std::uint64_t n, std::uint64_t m,
+                              std::uint64_t h) {
+  return n * 4 + n * 4 + n + PadTo4(n) + m * 12 + h * 4;
+}
+
+bool LoadFail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(std::span<const std::byte> bytes) {
+  std::uint64_t hash = kFnvOffset;
+  for (std::byte b : bytes) {
+    hash ^= std::to_integer<std::uint64_t>(b);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::vector<ClassifiedPrefix> ClassifiedFrom(
+    std::span<const core::ResultRecord> records) {
+  std::vector<ClassifiedPrefix> out;
+  out.reserve(records.size());
+  for (const core::ResultRecord& r : records) {
+    out.push_back({r.prefix, static_cast<std::uint8_t>(r.classification)});
+  }
+  return out;
+}
+
+std::vector<ClassifiedPrefix> ClassifiedFrom(
+    std::span<const core::BlockResult> results) {
+  std::vector<ClassifiedPrefix> out;
+  out.reserve(results.size());
+  for (const core::BlockResult& r : results) {
+    out.push_back({r.prefix, static_cast<std::uint8_t>(r.classification)});
+  }
+  return out;
+}
+
+std::vector<std::byte> CompileSnapshot(
+    std::span<const cluster::AggregateBlock> blocks,
+    std::span<const ClassifiedPrefix> classified, std::uint64_t epoch) {
+  // key -> (block id, class token); block membership wins over a
+  // results-only record, classification survives either insertion order.
+  std::map<std::uint32_t, std::pair<std::uint32_t, std::uint8_t>> entries;
+  for (std::uint32_t b = 0; b < blocks.size(); ++b) {
+    for (const netsim::Prefix& member : blocks[b].member_24s) {
+      entries.emplace(member.base().value(), std::make_pair(b, kNoClass));
+    }
+  }
+  for (const ClassifiedPrefix& c : classified) {
+    auto [pos, inserted] = entries.emplace(
+        c.prefix.base().value(), std::make_pair(kNoBlock, c.class_token));
+    if (!inserted && pos->second.second == kNoClass) {
+      pos->second.second = c.class_token;
+    }
+  }
+
+  std::vector<std::byte> payload;
+  const std::size_t n = entries.size();
+  std::size_t hop_total = 0;
+  for (const cluster::AggregateBlock& block : blocks) {
+    hop_total += block.last_hops.size();
+  }
+  payload.reserve(PayloadBytesFor(n, blocks.size(), hop_total));
+  for (const auto& [key, meta] : entries) AppendU32(payload, key);
+  for (const auto& [key, meta] : entries) AppendU32(payload, meta.first);
+  for (const auto& [key, meta] : entries) {
+    payload.push_back(static_cast<std::byte>(meta.second));
+  }
+  payload.resize(payload.size() + PadTo4(n), std::byte{0});
+  std::uint32_t hop_offset = 0;
+  for (const cluster::AggregateBlock& block : blocks) {
+    AppendU32(payload, static_cast<std::uint32_t>(block.member_24s.size()));
+    AppendU32(payload, hop_offset);
+    AppendU32(payload, static_cast<std::uint32_t>(block.last_hops.size()));
+    hop_offset += static_cast<std::uint32_t>(block.last_hops.size());
+  }
+  for (const cluster::AggregateBlock& block : blocks) {
+    for (const netsim::Ipv4Address& hop : block.last_hops) {
+      AppendU32(payload, hop.value());
+    }
+  }
+
+  std::vector<std::byte> out;
+  out.reserve(kSnapshotHeaderBytes + payload.size());
+  for (char c : kSnapshotMagic) out.push_back(static_cast<std::byte>(c));
+  AppendU32(out, kSnapshotVersion);
+  AppendU32(out, kSnapshotHeaderBytes);
+  AppendU32(out, static_cast<std::uint32_t>(n));
+  AppendU32(out, static_cast<std::uint32_t>(blocks.size()));
+  AppendU32(out, static_cast<std::uint32_t>(hop_total));
+  AppendU64(out, epoch);
+  AppendU64(out, payload.size());
+  AppendU64(out, Fnv1a64(payload));
+  AppendU64(out, 0);  // reserved
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::uint32_t Snapshot::LoadU32(std::size_t offset) const {
+  return ReadU32(buffer_.data() + offset);
+}
+
+std::vector<netsim::Ipv4Address> Snapshot::BlockLastHops(
+    std::uint32_t b) const {
+  std::uint32_t offset = LoadU32(blocktab_offset_ + std::size_t{b} * 12 + 4);
+  std::uint32_t count = BlockHopCount(b);
+  std::vector<netsim::Ipv4Address> hops;
+  hops.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    hops.emplace_back(LoadU32(hops_offset_ + (offset + std::size_t{i}) * 4));
+  }
+  return hops;
+}
+
+std::optional<Snapshot> Snapshot::FromBuffer(std::vector<std::byte> buffer,
+                                             std::string* error) {
+  if (buffer.size() < kSnapshotHeaderBytes) {
+    LoadFail(error, "truncated header: " + std::to_string(buffer.size()) +
+                        " bytes");
+    return std::nullopt;
+  }
+  if (std::memcmp(buffer.data(), kSnapshotMagic, 4) != 0) {
+    LoadFail(error, "bad magic (not a HobbitSnapshot file)");
+    return std::nullopt;
+  }
+  const std::byte* base = buffer.data();
+  std::uint32_t version = ReadU32(base + 4);
+  if (version != kSnapshotVersion) {
+    LoadFail(error, "unsupported version " + std::to_string(version));
+    return std::nullopt;
+  }
+  if (ReadU32(base + 8) != kSnapshotHeaderBytes) {
+    LoadFail(error, "bad header size field");
+    return std::nullopt;
+  }
+  std::uint64_t n = ReadU32(base + 12);
+  std::uint64_t m = ReadU32(base + 16);
+  std::uint64_t h = ReadU32(base + 20);
+  std::uint64_t epoch = ReadU64(base + 24);
+  std::uint64_t payload_bytes = ReadU64(base + 32);
+  std::uint64_t checksum = ReadU64(base + 40);
+  if (ReadU64(base + 48) != 0) {
+    LoadFail(error, "nonzero reserved field");
+    return std::nullopt;
+  }
+  if (payload_bytes != PayloadBytesFor(n, m, h)) {
+    LoadFail(error, "payload size field disagrees with section counts");
+    return std::nullopt;
+  }
+  if (buffer.size() != kSnapshotHeaderBytes + payload_bytes) {
+    LoadFail(error,
+             buffer.size() < kSnapshotHeaderBytes + payload_bytes
+                 ? "truncated payload"
+                 : "trailing bytes after payload");
+    return std::nullopt;
+  }
+  std::span<const std::byte> payload(base + kSnapshotHeaderBytes,
+                                     payload_bytes);
+  if (Fnv1a64(payload) != checksum) {
+    LoadFail(error, "payload checksum mismatch");
+    return std::nullopt;
+  }
+
+  Snapshot snapshot;
+  snapshot.entry_count_ = n;
+  snapshot.block_count_ = m;
+  snapshot.hop_count_ = h;
+  snapshot.epoch_ = epoch;
+  snapshot.checksum_ = checksum;
+  snapshot.keys_offset_ = kSnapshotHeaderBytes;
+  snapshot.entry_blocks_offset_ = snapshot.keys_offset_ + n * 4;
+  snapshot.classes_offset_ = snapshot.entry_blocks_offset_ + n * 4;
+  snapshot.blocktab_offset_ = snapshot.classes_offset_ + n + PadTo4(n);
+  snapshot.hops_offset_ = snapshot.blocktab_offset_ + m * 12;
+  snapshot.buffer_ = std::move(buffer);
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (snapshot.EntryKey(i) >= snapshot.EntryKey(i + 1)) {
+      LoadFail(error, "entry keys not strictly ascending at index " +
+                          std::to_string(i + 1));
+      return std::nullopt;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((snapshot.EntryKey(i) & 0xFF) != 0) {
+      LoadFail(error, "entry key is not a /24 base at index " +
+                          std::to_string(i));
+      return std::nullopt;
+    }
+    std::uint32_t block = snapshot.EntryBlock(i);
+    if (block != kNoBlock && block >= m) {
+      LoadFail(error,
+               "entry block id out of range at index " + std::to_string(i));
+      return std::nullopt;
+    }
+    std::uint8_t token = snapshot.EntryClass(i);
+    if (token != kNoClass && token > 4) {
+      LoadFail(error, "entry classification out of range at index " +
+                          std::to_string(i));
+      return std::nullopt;
+    }
+  }
+  for (std::uint32_t b = 0; b < m; ++b) {
+    std::uint64_t offset =
+        ReadU32(snapshot.buffer_.data() + snapshot.blocktab_offset_ +
+                std::size_t{b} * 12 + 4);
+    std::uint64_t count = snapshot.BlockHopCount(b);
+    if (offset + count > h) {
+      LoadFail(error, "block " + std::to_string(b) +
+                          " hop run exceeds the hop pool");
+      return std::nullopt;
+    }
+  }
+  return snapshot;
+}
+
+std::optional<Snapshot> Snapshot::FromFile(const std::string& path,
+                                           std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LoadFail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::vector<std::byte> buffer;
+  char chunk[64 * 1024];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    const std::byte* begin = reinterpret_cast<const std::byte*>(chunk);
+    buffer.insert(buffer.end(), begin, begin + in.gcount());
+  }
+  return FromBuffer(std::move(buffer), error);
+}
+
+}  // namespace hobbit::serve

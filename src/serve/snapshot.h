@@ -1,0 +1,153 @@
+// snapshot.h — the compiled, servable form of a Hobbit campaign.
+//
+// The text formats (cluster/blockio.h, hobbit/resultio.h) are the archival
+// interchange forms; this is the *serving* form: a campaign's block list
+// and per-/24 classifications lowered into one versioned, checksummed,
+// little-endian buffer that a running service can map or read whole and
+// query without any parsing, allocation, or pointer fixup.
+//
+// Layout (HobbitSnapshot v1; every integer little-endian):
+//
+//   offset  size  field
+//   0       4     magic "HSNP"
+//   4       4     u32 version            (== 1)
+//   8       4     u32 header_bytes      (== 56)
+//   12      4     u32 entry_count    n  (measured /24s, key-sorted)
+//   16      4     u32 block_count    m  (aggregated blocks)
+//   20      4     u32 hop_count      h  (last-hop pool entries)
+//   24      8     u64 epoch             (producer-chosen campaign id)
+//   32      8     u64 payload_bytes     (must equal the derived size)
+//   40      8     u64 payload_checksum  (FNV-1a 64 over the payload)
+//   48      8     u64 reserved          (== 0)
+//   56            payload:
+//     keys      n*4   u32 /24 base addresses, strictly ascending
+//     blocks    n*4   u32 owning block id, or kNoBlock
+//     classes   n*1   u8  Classification value, or kNoClass
+//     pad       0..3  zero bytes realigning to 4
+//     blocktab  m*12  u32 member_count, u32 hop_offset, u32 hop_count
+//     hops      h*4   u32 last-hop addresses, per-block contiguous runs
+//
+// Properties the loader enforces (each has a robustness test):
+//  * exact size: header + payload_bytes, nothing truncated or trailing;
+//  * checksum over the whole payload;
+//  * keys strictly ascending (sorted *and* duplicate-free — binary search
+//    needs no further validation);
+//  * every block id below m or kNoBlock, every class a valid enum value
+//    or kNoClass, every blocktab hop run inside the hop pool.
+//
+// A loaded Snapshot is therefore fully trusted by the lookup engine: the
+// hot path does no bounds or validity re-checking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/aggregate.h"
+#include "hobbit/resultio.h"
+#include "hobbit/types.h"
+#include "netsim/ipv4.h"
+
+namespace hobbit::serve {
+
+inline constexpr char kSnapshotMagic[4] = {'H', 'S', 'N', 'P'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotHeaderBytes = 56;
+
+/// Entry sentinel: measured /24 that belongs to no aggregated block.
+inline constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+/// Entry sentinel: no classification archived for this /24.
+inline constexpr std::uint8_t kNoClass = 0xFF;
+
+/// FNV-1a 64 over a byte range — the payload checksum.
+std::uint64_t Fnv1a64(std::span<const std::byte> bytes);
+
+/// A /24 destined for the snapshot: key plus optional classification.
+/// (Adapters below build these from the archival record types.)
+struct ClassifiedPrefix {
+  netsim::Prefix prefix;                    // must be a /24
+  std::uint8_t class_token = kNoClass;      // Classification value or kNoClass
+};
+
+std::vector<ClassifiedPrefix> ClassifiedFrom(
+    std::span<const core::ResultRecord> records);
+std::vector<ClassifiedPrefix> ClassifiedFrom(
+    std::span<const core::BlockResult> results);
+
+/// Lowers a block list plus (optionally empty) per-/24 classifications into
+/// a v1 snapshot buffer.  Entries are the union: every block member /24 and
+/// every classified /24.  Duplicate keys collapse (block membership wins
+/// for the block id, the classification rides along when present).
+std::vector<std::byte> CompileSnapshot(
+    std::span<const cluster::AggregateBlock> blocks,
+    std::span<const ClassifiedPrefix> classified = {},
+    std::uint64_t epoch = 0);
+
+/// One immutable loaded snapshot.  Owns its buffer; all accessors decode
+/// in place (little-endian loads compile to plain loads on LE hosts).
+/// Copy/move keep the views valid because offsets are relative.
+class Snapshot {
+ public:
+  /// Validates and adopts `buffer`.  On any violation of the format
+  /// contract returns nullopt and, when `error` is non-null, a message
+  /// naming the first violated property.
+  static std::optional<Snapshot> FromBuffer(std::vector<std::byte> buffer,
+                                            std::string* error = nullptr);
+
+  /// Reads a whole file then delegates to FromBuffer.
+  static std::optional<Snapshot> FromFile(const std::string& path,
+                                          std::string* error = nullptr);
+
+  std::size_t entry_count() const { return entry_count_; }
+  std::size_t block_count() const { return block_count_; }
+  std::size_t hop_count() const { return hop_count_; }
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t checksum() const { return checksum_; }
+  std::size_t buffer_bytes() const { return buffer_.size(); }
+
+  /// The i-th /24 base address (host order).  Strictly ascending in i.
+  std::uint32_t EntryKey(std::size_t i) const {
+    return LoadU32(keys_offset_ + i * 4);
+  }
+  /// The i-th entry's owning block id, or kNoBlock.
+  std::uint32_t EntryBlock(std::size_t i) const {
+    return LoadU32(entry_blocks_offset_ + i * 4);
+  }
+  /// The i-th entry's Classification value, or kNoClass.
+  std::uint8_t EntryClass(std::size_t i) const {
+    return static_cast<std::uint8_t>(buffer_[classes_offset_ + i]);
+  }
+  netsim::Prefix EntryPrefix(std::size_t i) const {
+    return netsim::Prefix::Of(netsim::Ipv4Address(EntryKey(i)), 24);
+  }
+
+  /// Member-/24 count of block b.
+  std::uint32_t BlockMemberCount(std::uint32_t b) const {
+    return LoadU32(blocktab_offset_ + std::size_t{b} * 12);
+  }
+  /// Last-hop addresses of block b (host order), decoded into a vector.
+  std::vector<netsim::Ipv4Address> BlockLastHops(std::uint32_t b) const;
+  std::uint32_t BlockHopCount(std::uint32_t b) const {
+    return LoadU32(blocktab_offset_ + std::size_t{b} * 12 + 8);
+  }
+
+ private:
+  std::uint32_t LoadU32(std::size_t offset) const;
+
+  std::vector<std::byte> buffer_;
+  std::size_t entry_count_ = 0;
+  std::size_t block_count_ = 0;
+  std::size_t hop_count_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t checksum_ = 0;
+  std::size_t keys_offset_ = 0;
+  std::size_t entry_blocks_offset_ = 0;
+  std::size_t classes_offset_ = 0;
+  std::size_t blocktab_offset_ = 0;
+  std::size_t hops_offset_ = 0;
+};
+
+}  // namespace hobbit::serve

@@ -1,0 +1,16 @@
+#include "serve/store.h"
+
+namespace hobbit::serve {
+
+bool SnapshotStore::ReloadFromFile(const std::string& path,
+                                   std::string* error) {
+  std::optional<Snapshot> loaded = Snapshot::FromFile(path, error);
+  if (!loaded) {
+    failed_reloads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Swap(std::make_shared<const Snapshot>(*std::move(loaded)));
+  return true;
+}
+
+}  // namespace hobbit::serve

@@ -1,0 +1,90 @@
+// store.h — RCU-style hot-swap of the serving snapshot.
+//
+// The serving loop must keep answering while an epoch rolls over.  The
+// read-copy-update shape: a reader grabs one refcounted handle to the
+// current immutable Snapshot and then works on it for as long as it
+// likes; a reloader validates the *entire* new file off to the side
+// (Snapshot::FromFile re-checks magic, version, checksum, sortedness)
+// and only then publishes it.  A reader that grabbed the old snapshot
+// just before a swap finishes its queries on the old data, and the old
+// buffer is freed by shared_ptr refcounting when the last such reader
+// drops it — no quiescence tracking needed, no reader ever waits on a
+// reload.
+//
+// Implementation note: the publish point is a shared_ptr guarded by a
+// std::shared_mutex rather than std::atomic<std::shared_ptr>.  The
+// libstdc++ (12) _Sp_atomic unlocks its reader-side spinlock with a
+// relaxed fetch_sub, so a reader's unprotected read of the stored
+// pointer has no happens-before edge to the next store's write of it —
+// ThreadSanitizer reports that (correctly, by the letter of the memory
+// model) as a data race.  The shared lock is held only for the pointer
+// copy (two uncontended atomic RMWs); all query work happens outside it.
+//
+// Failed reloads leave the current snapshot untouched (and are counted),
+// so a corrupt or half-written file can never take the service down.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "serve/snapshot.h"
+
+namespace hobbit::serve {
+
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// The currently served snapshot; null until the first Swap/Reload.
+  /// Readers only ever contend on the refcount and (briefly) a reloading
+  /// writer — never on each other's queries.
+  std::shared_ptr<const Snapshot> Current() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return current_;
+  }
+
+  /// Publishes `snapshot` (may be null to take the store offline) and
+  /// returns the new generation number.  Generation 0 == never loaded.
+  std::uint64_t Swap(std::shared_ptr<const Snapshot> snapshot) {
+    // The old snapshot's release (possibly the last reference) runs
+    // outside the lock, after the swap is visible.
+    std::shared_ptr<const Snapshot> retired;
+    std::uint64_t generation;
+    {
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      retired = std::move(current_);
+      current_ = std::move(snapshot);
+      generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+    return generation;
+  }
+
+  /// Validates `path` as a v1 snapshot and swaps it in on success.  On
+  /// failure returns false, stores a message in *error (when non-null)
+  /// and leaves the served snapshot untouched.
+  bool ReloadFromFile(const std::string& path, std::string* error = nullptr);
+
+  /// Monotonic count of successful swaps.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  /// Count of rejected reloads (validation failures).
+  std::uint64_t failed_reloads() const {
+    return failed_reloads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::shared_ptr<const Snapshot> current_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> failed_reloads_{0};
+};
+
+}  // namespace hobbit::serve

@@ -1,0 +1,239 @@
+// Snapshot compiler + lookup engine: round-trips, exact and covering
+// queries, batch determinism, and the differential contract against
+// cluster::BlockIndex (the reference implementation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cluster/blockio.h"
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+#include "serve/lookup.h"
+#include "serve/snapshot.h"
+#include "test_util.h"
+
+namespace hobbit::serve {
+namespace {
+
+using test::Addr;
+using test::Pfx;
+
+std::vector<cluster::AggregateBlock> SampleBlocks() {
+  cluster::AggregateBlock a;
+  a.member_24s = {Pfx("20.0.1.0/24"), Pfx("20.0.9.0/24")};
+  a.last_hops = {Addr("10.0.0.1"), Addr("10.0.0.2")};
+  cluster::AggregateBlock b;
+  b.member_24s = {Pfx("99.1.2.0/24")};
+  b.last_hops = {Addr("10.0.0.9")};
+  return {a, b};
+}
+
+std::vector<ClassifiedPrefix> SampleClassified() {
+  return {
+      {Pfx("20.0.1.0/24"),
+       static_cast<std::uint8_t>(core::Classification::kSameLastHop)},
+      // A /24 that was measured but never aggregated into a block:
+      {Pfx("50.5.5.0/24"),
+       static_cast<std::uint8_t>(core::Classification::kTooFewActive)},
+  };
+}
+
+Snapshot MustLoad(std::vector<std::byte> buffer) {
+  std::string error;
+  auto snapshot = Snapshot::FromBuffer(std::move(buffer), &error);
+  EXPECT_TRUE(snapshot.has_value()) << error;
+  return *snapshot;
+}
+
+TEST(SnapshotCompile, RoundTripsBlocksAndClassifications) {
+  auto blocks = SampleBlocks();
+  Snapshot snapshot =
+      MustLoad(CompileSnapshot(blocks, SampleClassified(), 42));
+  EXPECT_EQ(snapshot.epoch(), 42u);
+  EXPECT_EQ(snapshot.entry_count(), 4u);  // 3 member /24s + 1 results-only
+  EXPECT_EQ(snapshot.block_count(), 2u);
+  EXPECT_EQ(snapshot.hop_count(), 3u);
+  // Keys strictly ascending.
+  for (std::size_t i = 0; i + 1 < snapshot.entry_count(); ++i) {
+    EXPECT_LT(snapshot.EntryKey(i), snapshot.EntryKey(i + 1));
+  }
+  EXPECT_EQ(snapshot.BlockMemberCount(0), 2u);
+  EXPECT_EQ(snapshot.BlockMemberCount(1), 1u);
+  EXPECT_EQ(snapshot.BlockLastHops(0),
+            (std::vector<netsim::Ipv4Address>{Addr("10.0.0.1"),
+                                              Addr("10.0.0.2")}));
+  EXPECT_EQ(snapshot.BlockLastHops(1),
+            (std::vector<netsim::Ipv4Address>{Addr("10.0.0.9")}));
+}
+
+TEST(SnapshotCompile, EmptyCampaignStillLoads) {
+  Snapshot snapshot = MustLoad(CompileSnapshot({}, {}, 0));
+  EXPECT_EQ(snapshot.entry_count(), 0u);
+  LookupEngine engine(snapshot);
+  EXPECT_FALSE(engine.Lookup(Addr("1.2.3.4")).found);
+  EXPECT_TRUE(engine.Covering(Pfx("0.0.0.0/0")).empty());
+}
+
+TEST(SnapshotCompile, DeterministicBytes) {
+  auto blocks = SampleBlocks();
+  auto first = CompileSnapshot(blocks, SampleClassified(), 9);
+  auto second = CompileSnapshot(blocks, SampleClassified(), 9);
+  EXPECT_EQ(first, second);
+}
+
+TEST(SnapshotFile, WritesAndLoadsBack) {
+  std::string path = ::testing::TempDir() + "serve_roundtrip.snap";
+  auto buffer = CompileSnapshot(SampleBlocks(), SampleClassified(), 3);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+  }
+  std::string error;
+  auto snapshot = Snapshot::FromFile(path, &error);
+  ASSERT_TRUE(snapshot.has_value()) << error;
+  EXPECT_EQ(snapshot->epoch(), 3u);
+  EXPECT_EQ(snapshot->entry_count(), 4u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(Snapshot::FromFile(path, &error).has_value());
+}
+
+TEST(LookupEngine, ExactLookups) {
+  Snapshot snapshot =
+      MustLoad(CompileSnapshot(SampleBlocks(), SampleClassified(), 1));
+  LookupEngine engine(snapshot);
+
+  LookupResult hit = engine.Lookup(Pfx("20.0.1.0/24"));
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.block, 0u);
+  EXPECT_EQ(hit.class_token,
+            static_cast<std::uint8_t>(core::Classification::kSameLastHop));
+
+  // Address form resolves through the covering /24.
+  LookupResult by_address = engine.Lookup(Addr("99.1.2.200"));
+  ASSERT_TRUE(by_address.found);
+  EXPECT_EQ(by_address.block, 1u);
+  EXPECT_EQ(by_address.class_token, kNoClass);
+
+  // Results-only entry: present, but owned by no block.
+  LookupResult orphan = engine.Lookup(Pfx("50.5.5.0/24"));
+  ASSERT_TRUE(orphan.found);
+  EXPECT_EQ(orphan.block, kNoBlock);
+
+  EXPECT_FALSE(engine.Lookup(Pfx("8.8.8.0/24")).found);
+  // Non-/24 prefixes miss by definition in the exact path.
+  EXPECT_FALSE(engine.Lookup(Pfx("20.0.0.0/16")).found);
+}
+
+TEST(LookupEngine, CoveringQueries) {
+  Snapshot snapshot =
+      MustLoad(CompileSnapshot(SampleBlocks(), SampleClassified(), 1));
+  LookupEngine engine(snapshot);
+
+  EntryRange all = engine.Covering(Pfx("0.0.0.0/0"));
+  EXPECT_EQ(all.size(), snapshot.entry_count());
+
+  EntryRange sixteen = engine.Covering(Pfx("20.0.0.0/16"));
+  EXPECT_EQ(sixteen.size(), 2u);
+  EXPECT_EQ(engine.DistinctBlocks(sixteen), 1u);
+
+  EntryRange exact = engine.Covering(Pfx("99.1.2.0/24"));
+  EXPECT_EQ(exact.size(), 1u);
+
+  EXPECT_TRUE(engine.Covering(Pfx("20.0.1.0/26")).empty());
+  EXPECT_TRUE(engine.Covering(Pfx("77.0.0.0/8")).empty());
+}
+
+TEST(LookupEngine, BatchMatchesSerialForAnyThreadCount) {
+  Snapshot snapshot =
+      MustLoad(CompileSnapshot(SampleBlocks(), SampleClassified(), 1));
+  LookupEngine engine(snapshot);
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    keys.push_back((i * 2654435761u) & 0xFFFFFF00u);
+  }
+  for (std::size_t i = 0; i < snapshot.entry_count(); ++i) {
+    keys.push_back(snapshot.EntryKey(i));
+  }
+  std::vector<LookupResult> serial(keys.size());
+  engine.LookupBatch(keys, serial, nullptr);
+  for (int threads : {1, 2, 7}) {
+    common::ThreadPool pool(threads);
+    std::vector<LookupResult> parallel(keys.size());
+    engine.LookupBatch(keys, parallel, &pool);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(parallel[i].found, serial[i].found) << i;
+      EXPECT_EQ(parallel[i].block, serial[i].block) << i;
+      EXPECT_EQ(parallel[i].class_token, serial[i].class_token) << i;
+    }
+  }
+}
+
+// The differential contract: over a full simulated campaign, the compiled
+// snapshot answers exactly as the reference cluster::BlockIndex, for every
+// member /24, every study /24, and near-miss probes around each key.
+TEST(LookupEngine, DifferentialAgainstBlockIndex) {
+  netsim::Internet internet = netsim::BuildInternet(netsim::TinyConfig(61));
+  core::PipelineConfig config;
+  config.seed = 61;
+  config.calibration_blocks = 40;
+  core::PipelineResult result = core::RunPipeline(internet, config);
+  auto aggregates = cluster::AggregateIdentical(result.HomogeneousBlocks());
+  ASSERT_FALSE(aggregates.empty());
+
+  cluster::BlockIndex reference(aggregates);
+  Snapshot snapshot = MustLoad(CompileSnapshot(
+      aggregates,
+      ClassifiedFrom(std::span<const core::BlockResult>(result.results)),
+      61));
+  LookupEngine engine(snapshot);
+
+  auto check = [&](const netsim::Prefix& p) {
+    int want = reference.BlockOf(p);
+    LookupResult got = engine.Lookup(p);
+    if (want < 0) {
+      EXPECT_TRUE(!got.found || got.block == kNoBlock) << p.ToString();
+    } else {
+      ASSERT_TRUE(got.found) << p.ToString();
+      EXPECT_EQ(got.block, static_cast<std::uint32_t>(want))
+          << p.ToString();
+    }
+  };
+
+  std::size_t member_count = 0;
+  for (const auto& block : aggregates) {
+    for (const auto& member : block.member_24s) {
+      check(member);
+      // Neighbouring /24s exercise the miss path next to every hit.
+      check(netsim::Prefix::Of(
+          netsim::Ipv4Address(member.base().value() + 256), 24));
+      check(netsim::Prefix::Of(
+          netsim::Ipv4Address(member.base().value() - 256), 24));
+      ++member_count;
+    }
+  }
+  EXPECT_EQ(member_count, reference.size());
+  for (const auto& r : result.results) {
+    check(r.prefix);
+    // Classification must ride along for every measured /24.
+    LookupResult got = engine.Lookup(r.prefix);
+    ASSERT_TRUE(got.found) << r.prefix.ToString();
+    EXPECT_EQ(got.class_token,
+              static_cast<std::uint8_t>(r.classification))
+        << r.prefix.ToString();
+  }
+}
+
+TEST(BlockIndex, AddressOverloadMatchesPrefixOverload) {
+  auto blocks = SampleBlocks();
+  cluster::BlockIndex index(blocks);
+  EXPECT_EQ(index.BlockOf(Addr("20.0.9.77")), 0);
+  EXPECT_EQ(index.BlockOf(Addr("99.1.2.1")), 1);
+  EXPECT_EQ(index.BlockOf(Addr("99.1.3.1")), -1);
+  EXPECT_EQ(index.BlockOf(Pfx("20.0.0.0/16")), -1);
+  EXPECT_EQ(index.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hobbit::serve

@@ -1,0 +1,234 @@
+// SnapshotStore RCU semantics under real concurrency — built into the
+// serve concurrency test binary, which the tsan preset runs under
+// ThreadSanitizer: readers hammer lookups while a writer hot-swaps
+// snapshots, and every observation must be internally consistent (a
+// reader sees epoch-1 data or epoch-2 data, never a blend), with no
+// snapshot leaked once the readers drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/lookup.h"
+#include "serve/service.h"
+#include "serve/store.h"
+#include "test_util.h"
+
+namespace hobbit::serve {
+namespace {
+
+using test::Addr;
+using test::Pfx;
+
+// Two epochs with deliberately different answers for the same key space:
+// epoch 1 has N blocks of one /24 each; epoch 2 drops the odd /24s and
+// re-homes the even ones into one big block.  A torn read would surface
+// as an answer impossible under either epoch.
+std::vector<std::byte> EpochOne(int n) {
+  std::vector<cluster::AggregateBlock> blocks;
+  for (int i = 0; i < n; ++i) {
+    cluster::AggregateBlock b;
+    b.member_24s = {netsim::Prefix::Of(
+        netsim::Ipv4Address(0x14000000u + 256u * static_cast<unsigned>(i)),
+        24)};
+    b.last_hops = {Addr("10.0.0.1")};
+    blocks.push_back(std::move(b));
+  }
+  return CompileSnapshot(blocks, {}, 1);
+}
+
+std::vector<std::byte> EpochTwo(int n) {
+  cluster::AggregateBlock big;
+  big.last_hops = {Addr("10.0.0.2")};
+  for (int i = 0; i < n; i += 2) {
+    big.member_24s.push_back(netsim::Prefix::Of(
+        netsim::Ipv4Address(0x14000000u + 256u * static_cast<unsigned>(i)),
+        24));
+  }
+  return CompileSnapshot(std::vector<cluster::AggregateBlock>{big}, {}, 2);
+}
+
+std::shared_ptr<const Snapshot> Load(const std::vector<std::byte>& bytes) {
+  std::string error;
+  auto snapshot = Snapshot::FromBuffer(bytes, &error);
+  EXPECT_TRUE(snapshot.has_value()) << error;
+  return std::make_shared<const Snapshot>(*std::move(snapshot));
+}
+
+TEST(SnapshotStore, HotSwapUnderConcurrentLookups) {
+  constexpr int kSlash24s = 64;
+  constexpr int kReaders = 4;
+  constexpr int kSwaps = 400;
+  SnapshotStore store;
+  auto one = Load(EpochOne(kSlash24s));
+  auto two = Load(EpochTwo(kSlash24s));
+  store.Swap(one);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<int> inconsistencies{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint32_t key = 0x14000000u + 256u * static_cast<unsigned>(r);
+      // do-while so each reader validates at least one pass even if the
+      // writer finishes all swaps before this thread first runs.
+      do {
+        std::shared_ptr<const Snapshot> snapshot = store.Current();
+        LookupEngine engine(*snapshot);
+        for (int i = 0; i < kSlash24s; ++i) {
+          std::uint32_t probe = key + 256u * static_cast<unsigned>(i);
+          probe = 0x14000000u + (probe - 0x14000000u) %
+                                    (256u * kSlash24s);
+          LookupResult got =
+              engine.Lookup(netsim::Ipv4Address(probe));
+          int index = static_cast<int>((probe - 0x14000000u) / 256u);
+          bool ok;
+          if (snapshot->epoch() == 1) {
+            // Every /24 present, one block each, id == index.
+            ok = got.found &&
+                 got.block == static_cast<std::uint32_t>(index);
+          } else {
+            // Only even /24s, all in block 0.
+            ok = (index % 2 == 0) ? (got.found && got.block == 0)
+                                  : !got.found;
+          }
+          if (!ok) inconsistencies.fetch_add(1);
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  for (int s = 0; s < kSwaps; ++s) {
+    store.Swap(s % 2 == 0 ? two : one);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(store.generation(), static_cast<std::uint64_t>(kSwaps) + 1);
+
+  // No leaked snapshots: once the store drops its reference and the
+  // readers are gone, only our two local handles remain.
+  std::weak_ptr<const Snapshot> weak_one = one;
+  std::weak_ptr<const Snapshot> weak_two = two;
+  store.Swap(nullptr);
+  one.reset();
+  two.reset();
+  EXPECT_TRUE(weak_one.expired());
+  EXPECT_TRUE(weak_two.expired());
+}
+
+TEST(SnapshotStore, ConcurrentFileReloadsAgainstReaders) {
+  const std::string good_path = ::testing::TempDir() + "store_epoch1.snap";
+  const std::string next_path = ::testing::TempDir() + "store_epoch2.snap";
+  const std::string bad_path = ::testing::TempDir() + "store_corrupt.snap";
+  auto write = [](const std::string& path, std::vector<std::byte> bytes) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  };
+  write(good_path, EpochOne(16));
+  write(next_path, EpochTwo(16));
+  auto corrupt = EpochTwo(16);
+  corrupt[corrupt.size() - 1] ^= std::byte{0xFF};
+  write(bad_path, corrupt);
+
+  SnapshotStore store;
+  ASSERT_TRUE(store.ReloadFromFile(good_path));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto snapshot = store.Current();
+        ASSERT_NE(snapshot, nullptr);
+        std::uint64_t epoch = snapshot->epoch();
+        ASSERT_TRUE(epoch == 1 || epoch == 2);
+        LookupEngine engine(*snapshot);
+        LookupResult got = engine.Lookup(Pfx("20.0.0.0/24"));
+        // 20.0.0.0/24 (0x14000000) exists in both epochs, block 0.
+        ASSERT_TRUE(got.found);
+        ASSERT_EQ(got.block, 0u);
+      }
+    });
+  }
+  for (int s = 0; s < 60; ++s) {
+    EXPECT_TRUE(
+        store.ReloadFromFile(s % 2 == 0 ? next_path : good_path));
+    // Corrupt files are rejected mid-flight without disturbing readers.
+    std::string error;
+    EXPECT_FALSE(store.ReloadFromFile(bad_path, &error));
+    EXPECT_FALSE(error.empty());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(store.failed_reloads(), 60u);
+  EXPECT_EQ(store.generation(), 61u);
+  std::remove(good_path.c_str());
+  std::remove(next_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+// The full service stack under swap pressure: worker threads pump LOOKUP
+// sessions through LineService while the main thread RELOADs alternating
+// snapshot files — the protocol layer must never return a blended answer.
+TEST(SnapshotStore, ServiceSessionsDuringReloads) {
+  const std::string a_path = ::testing::TempDir() + "svc_epoch1.snap";
+  const std::string b_path = ::testing::TempDir() + "svc_epoch2.snap";
+  auto write = [](const std::string& path, std::vector<std::byte> bytes) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  };
+  write(a_path, EpochOne(8));
+  write(b_path, EpochTwo(8));
+
+  SnapshotStore store;
+  ServeMetrics metrics;
+  ASSERT_TRUE(store.ReloadFromFile(a_path));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> sessions;
+  for (int t = 0; t < 2; ++t) {
+    sessions.emplace_back([&] {
+      LineService service(&store, &metrics);
+      // do-while: on a single-core box the main thread can finish every
+      // reload and raise `stop` before this thread is first scheduled;
+      // each session must still run at least once.
+      do {
+        std::istringstream in("LOOKUP 20.0.2.1\nLOOKUP 20.0.1.1\n");
+        std::ostringstream out;
+        service.Run(in, out);
+        std::string reply = out.str();
+        // 20.0.2.0/24 (even index 2) is in both epochs; 20.0.1.0/24
+        // (odd index 1) only in epoch 1.  Valid replies are HIT+HIT
+        // (epoch 1, possibly spanning a swap) or HIT+MISS (epoch 2).
+        bool first_hit = reply.find("HIT 20.0.2.0/24") == 0;
+        ASSERT_TRUE(first_hit) << reply;
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+  for (int s = 0; s < 80; ++s) {
+    ASSERT_TRUE(store.ReloadFromFile(s % 2 == 0 ? b_path : a_path));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& session : sessions) session.join();
+  EXPECT_GE(metrics.lookups.load(), 4u);
+  EXPECT_EQ(metrics.misses.load() + metrics.hits.load(),
+            metrics.lookups.load());
+  std::remove(a_path.c_str());
+  std::remove(b_path.c_str());
+}
+
+}  // namespace
+}  // namespace hobbit::serve

@@ -1,0 +1,70 @@
+// hobbit_serve — the block lookup service.
+//
+// Speaks the LineService protocol (see src/serve/service.h) over
+// stdin/stdout, serving a compiled snapshot (produced by
+// `hobbit_sim export-snapshot`) with RCU hot-swap on RELOAD:
+//
+//   hobbit_sim export-snapshot --scale 0.05 --out epoch1.snap
+//   printf 'LOOKUP 20.0.1.7\nSTATS\nQUIT\n' |
+//       hobbit_serve --snapshot epoch1.snap --threads 4
+//
+// Diagnostics go to stderr; stdout carries only protocol replies, so the
+// binary pipes cleanly.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/parallel.h"
+#include "serve/service.h"
+
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage: hobbit_serve [--snapshot FILE] [--threads N]\n"
+      "  serves LOOKUP/BATCH/RELOAD/STATS/QUIT over stdin/stdout;\n"
+      "  without --snapshot, start empty and load via RELOAD.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string snapshot_path;
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--snapshot" && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else if (flag == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+
+  hobbit::common::ThreadPool pool(threads);
+  hobbit::serve::SnapshotStore store;
+  hobbit::serve::ServeMetrics metrics;
+  if (!snapshot_path.empty()) {
+    std::string error;
+    if (!store.ReloadFromFile(snapshot_path, &error)) {
+      std::cerr << "cannot load snapshot: " << error << "\n";
+      return 1;
+    }
+    metrics.reloads.fetch_add(1, std::memory_order_relaxed);
+    auto snapshot = store.Current();
+    std::cerr << "serving " << snapshot_path << ": "
+              << snapshot->entry_count() << " /24s, "
+              << snapshot->block_count() << " blocks, epoch "
+              << snapshot->epoch() << "\n";
+  } else {
+    std::cerr << "no snapshot loaded; waiting for RELOAD\n";
+  }
+
+  hobbit::serve::LineService service(&store, &metrics, &pool);
+  std::size_t commands = service.Run(std::cin, std::cout);
+  std::cerr << "session end: " << commands << " command(s)\n";
+  return 0;
+}

@@ -14,6 +14,9 @@
 //   hobbit_sim whois      <prefix>    [--seed N] [--scale S]
 //   hobbit_sim stats      --results FILE
 //   hobbit_sim lookup     <prefix/24> --blocks FILE
+//   hobbit_sim export-snapshot --out FILE [--blocks FILE [--results FILE]]
+//                         [--seed N] [--scale S] [--threads T] [--mcl]
+//                         [--epoch E]
 
 #include <cstdlib>
 #include <fstream>
@@ -32,6 +35,7 @@
 #include "netsim/internet.h"
 #include "netsim/rdns.h"
 #include "probing/traceroute.h"
+#include "serve/snapshot.h"
 
 namespace {
 
@@ -90,7 +94,10 @@ int Usage() {
       "  rdns       <address> [--seed N] [--scale S]\n"
       "  whois      <prefix>  [--seed N] [--scale S]\n"
       "  stats      --results FILE\n"
-      "  lookup     <prefix/24> --blocks FILE\n";
+      "  lookup     <prefix/24> --blocks FILE\n"
+      "  export-snapshot --out FILE [--blocks FILE [--results FILE]]\n"
+      "             [--seed N] [--scale S] [--threads T] [--mcl]\n"
+      "             [--epoch E]\n";
   return 2;
 }
 
@@ -362,6 +369,83 @@ int CmdLookup(const Args& args) {
   return 0;
 }
 
+// Compiles a campaign into the binary serving snapshot.  Two sources:
+// archived text artifacts (--blocks, optionally --results), or — with no
+// --blocks — a fresh simulated campaign (seed/scale/threads/mcl flags as
+// for `measure`), so results flow straight into the compiler.
+int CmdExportSnapshot(const Args& args) {
+  if (!args.Has("out")) {
+    std::cerr << "export-snapshot needs --out\n";
+    return 2;
+  }
+  std::uint64_t epoch =
+      std::strtoull(args.Get("epoch", "0").c_str(), nullptr, 10);
+  std::vector<cluster::AggregateBlock> blocks;
+  std::vector<serve::ClassifiedPrefix> classified;
+  if (args.Has("blocks")) {
+    std::ifstream in(args.Get("blocks", ""));
+    if (!in) {
+      std::cerr << "cannot open --blocks file\n";
+      return 1;
+    }
+    std::string error;
+    auto parsed = cluster::ReadBlocks(in, &error);
+    if (!parsed) {
+      std::cerr << "blocks parse error: " << error << "\n";
+      return 1;
+    }
+    blocks = *std::move(parsed);
+    if (args.Has("results")) {
+      std::ifstream rin(args.Get("results", ""));
+      if (!rin) {
+        std::cerr << "cannot open --results file\n";
+        return 1;
+      }
+      auto records = core::ReadResults(rin, &error);
+      if (!records) {
+        std::cerr << "results parse error: " << error << "\n";
+        return 1;
+      }
+      classified = serve::ClassifiedFrom(*records);
+    }
+  } else {
+    netsim::Internet internet = BuildWorld(args);
+    common::ThreadPool pool(std::atoi(args.Get("threads", "1").c_str()));
+    core::PipelineConfig config;
+    config.seed =
+        std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+    config.pool = &pool;
+    core::PipelineResult result = core::RunPipeline(internet, config);
+    blocks = cluster::AggregateIdentical(result.HomogeneousBlocks());
+    if (args.Has("mcl")) {
+      cluster::MclAggregationParams mcl_params;
+      mcl_params.mcl.pool = &pool;
+      auto mcl = cluster::RunMclAggregation(blocks, mcl_params);
+      cluster::ValidationParams validation;
+      validation.pool = &pool;
+      cluster::ValidateClusters(internet, result.study_blocks, blocks, mcl,
+                                validation);
+      blocks = cluster::MergeValidatedClusters(blocks, mcl);
+    }
+    classified = serve::ClassifiedFrom(
+        std::span<const core::BlockResult>(result.results));
+  }
+  std::vector<std::byte> snapshot =
+      serve::CompileSnapshot(blocks, classified, epoch);
+  std::ofstream out(args.Get("out", ""), std::ios::binary);
+  if (!out ||
+      !out.write(reinterpret_cast<const char*>(snapshot.data()),
+                 static_cast<std::streamsize>(snapshot.size()))) {
+    std::cerr << "cannot write --out file\n";
+    return 1;
+  }
+  std::cout << "snapshot (" << blocks.size() << " blocks, "
+            << classified.size() << " classified /24s, "
+            << snapshot.size() << " bytes, epoch " << epoch << ") -> "
+            << args.Get("out", "") << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -374,5 +458,6 @@ int main(int argc, char** argv) {
   if (args.command == "whois") return CmdWhois(args);
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "lookup") return CmdLookup(args);
+  if (args.command == "export-snapshot") return CmdExportSnapshot(args);
   return Usage();
 }
