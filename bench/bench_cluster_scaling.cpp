@@ -6,6 +6,7 @@
 // while they do (any mismatch is reported loudly).
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "cluster/aggregate.h"
 #include "common.h"
@@ -77,6 +78,11 @@ int main() {
   std::printf("%8s %10s %10s %10s %10s %9s\n", "threads", "graph[s]",
               "mcl[s]", "valid[s]", "total[s]", "speedup");
 
+  bench::JsonReporter report("cluster_scaling");
+  report.Config("scale", world.scale);
+  report.Config("seed", static_cast<double>(world.seed));
+  report.Config("aggregates", static_cast<double>(world.aggregates.size()));
+
   cluster::MclAggregationResult baseline;
   double baseline_total = 0.0;
   bool all_identical = true;
@@ -93,7 +99,12 @@ int main() {
     std::printf("%8d %10.3f %10.3f %10.3f %10.3f %8.2fx\n", threads,
                 times.graph, times.mcl, times.validate, times.total(),
                 baseline_total / times.total());
+    const std::string tag = std::to_string(threads) + "t";
+    report.Metric(tag + "_total_seconds", times.total());
+    report.Metric(tag + "_speedup", baseline_total / times.total());
   }
+  report.Metric("identical", all_identical ? 1.0 : 0.0);
+  report.Write();
   std::printf("\nclustering results across thread counts: %s\n",
               all_identical ? "bit-identical" : "MISMATCH (bug!)");
   return all_identical ? 0 : 1;

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common.h"
@@ -34,6 +35,9 @@ int main() {
   bench::PrintHeader("serve lookup throughput",
                      "serving layer (no paper figure)");
   const bench::World& world = bench::GetWorld();
+  bench::JsonReporter report("serve");
+  report.Config("scale", world.scale);
+  report.Config("seed", static_cast<double>(world.seed));
 
   auto buffer = serve::CompileSnapshot(
       world.final_blocks,
@@ -77,6 +81,9 @@ int main() {
   std::printf("single-thread : %8.0f klookups/s  (%zu/%zu hits, %.3fs)\n",
               queries.size() / elapsed / 1e3, hits, queries.size(),
               elapsed);
+  report.Metric("entries", static_cast<double>(snapshot->entry_count()));
+  report.Metric("queries", static_cast<double>(queries.size()));
+  report.Metric("single_thread_lookups_per_s", queries.size() / elapsed);
 
   // Batched across thread counts.
   std::vector<serve::LookupResult> answers(queries.size());
@@ -90,6 +97,8 @@ int main() {
     std::printf("batch %2d thr  : %8.0f klookups/s  (%zu hits, %.3fs)\n",
                 threads, queries.size() / elapsed / 1e3, batch_hits,
                 elapsed);
+    report.Metric("batch_" + std::to_string(threads) + "t_lookups_per_s",
+                  queries.size() / elapsed);
   }
 
   // Covering queries: one per distinct /16 in the entry set.
@@ -114,5 +123,8 @@ int main() {
       sixteens.empty()
           ? 0.0
           : static_cast<double>(covered) / (kCoverRounds * sixteens.size()));
+  report.Metric("covering_queries_per_s",
+                kCoverRounds * sixteens.size() / elapsed);
+  report.Write();
   return 0;
 }

@@ -2,11 +2,18 @@
 
 #include <chrono>
 #include <thread>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 
 #include "common/parallel.h"
+
+#ifndef HOBBIT_REPO_ROOT
+#define HOBBIT_REPO_ROOT "."
+#endif
 
 namespace hobbit::bench {
 namespace {
@@ -79,6 +86,101 @@ std::uint64_t WorldSeed() { return ParseEnvU64("HOBBIT_SEED", 42); }
 const World& GetWorld() {
   static World world = BuildWorld();
   return world;
+}
+
+namespace {
+
+std::string JsonNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+std::string JsonString(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CurrentCommit() {
+  if (const char* env = std::getenv("HOBBIT_COMMIT");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::string commit = "unknown";
+  FILE* pipe = ::popen(
+      "git -C \"" HOBBIT_REPO_ROOT "\" rev-parse --short HEAD 2>/dev/null",
+      "r");
+  if (pipe != nullptr) {
+    char buffer[64] = {0};
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      std::string line(buffer);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) commit = line;
+    }
+    ::pclose(pipe);
+  }
+  return commit;
+}
+
+void AppendObject(
+    std::ostringstream& os,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  os << '{';
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << JsonString(fields[i].first) << ": " << fields[i].second;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void JsonReporter::Config(const std::string& key, double value) {
+  config_.emplace_back(key, JsonNumber(value));
+}
+
+void JsonReporter::Config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, JsonString(value));
+}
+
+void JsonReporter::Metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, JsonNumber(value));
+}
+
+std::string JsonReporter::ToJson() const {
+  std::ostringstream os;
+  os << "{\"bench\": " << JsonString(bench_name_) << ", \"config\": ";
+  AppendObject(os, config_);
+  os << ", \"metrics\": ";
+  AppendObject(os, metrics_);
+  os << ", \"commit\": " << JsonString(CurrentCommit()) << "}\n";
+  return os.str();
+}
+
+std::string JsonReporter::Write() const {
+  const char* dir = std::getenv("HOBBIT_BENCH_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : HOBBIT_REPO_ROOT;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "BENCH_" + bench_name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[bench] cannot write " << path << "\n";
+    return "";
+  }
+  out << ToJson();
+  std::cerr << "[bench] wrote " << path << "\n";
+  return path;
 }
 
 void PrintHeader(const std::string& experiment,

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cluster/aggregate.h"
 #include "hobbit/pipeline.h"
@@ -44,5 +46,36 @@ std::uint64_t WorldSeed();
 /// Prints the standard bench header (experiment id + scale note).
 void PrintHeader(const std::string& experiment,
                  const std::string& paper_reference);
+
+/// Machine-readable bench results.  Accumulates configuration and metric
+/// key/value pairs and writes them as
+///   {"bench": <name>, "config": {...}, "metrics": {...}, "commit": <sha>}
+/// to `BENCH_<name>.json` at the repo root (overridable with the
+/// HOBBIT_BENCH_DIR environment variable), so CI and EXPERIMENTS.md
+/// tooling can diff runs without scraping stdout.  The commit comes from
+/// HOBBIT_COMMIT when set, else `git rev-parse --short HEAD`.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Config(const std::string& key, double value);
+  void Config(const std::string& key, const std::string& value);
+  void Metric(const std::string& key, double value);
+
+  /// Serializes the report.  Keys keep insertion order.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<bench_name>.json; returns the path written, or an
+  /// empty string (with a note on stderr) when the file cannot be
+  /// opened.
+  std::string Write() const;
+
+ private:
+  std::string bench_name_;
+  /// Values are pre-rendered JSON tokens (quoted strings or numbers).
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
 
 }  // namespace hobbit::bench

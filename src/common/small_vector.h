@@ -1,0 +1,170 @@
+// small_vector.h — contiguous vector with inline storage for small sizes.
+//
+// The measurement hot path manipulates millions of tiny address sets: a
+// destination's last-hop interfaces (almost always exactly one, a handful
+// under per-flow diversity) and the running intersection the prober keeps
+// while testing the common-last-hop rule.  A std::vector heap-allocates
+// for every one of them; SmallVector keeps up to `N` elements in the
+// object itself and only touches the heap beyond that.
+//
+// Deliberately minimal: restricted to trivially copyable element types
+// (addresses are), pointer iterators, and the operations the probing and
+// classification code actually uses.  Spilled storage never shrinks back
+// inline, matching std::vector's capacity behaviour.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace hobbit::common {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using size_type = std::size_t;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+  }
+  template <typename It>
+  SmallVector(It first, It last) {
+    assign(first, last);
+  }
+  SmallVector(const SmallVector& other) {
+    assign(other.begin(), other.end());
+  }
+  SmallVector(SmallVector&& other) noexcept { StealFrom(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      ReleaseHeap();
+      StealFrom(other);
+    }
+    return *this;
+  }
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+  ~SmallVector() { ReleaseHeap(); }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  const_iterator begin() const { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator end() const { return data_ + size_; }
+
+  size_type size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_type capacity() const { return capacity_; }
+
+  T& operator[](size_type i) { return data_[i]; }
+  const T& operator[](size_type i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_type wanted) {
+    if (wanted > capacity_) Grow(wanted);
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  /// Inserts `value` before `pos`; returns the iterator at the inserted
+  /// element.  Pointers are invalidated on growth, like std::vector.
+  iterator insert(const_iterator pos, const T& value) {
+    const size_type at = static_cast<size_type>(pos - data_);
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    std::memmove(data_ + at + 1, data_ + at, (size_ - at) * sizeof(T));
+    data_[at] = value;
+    ++size_;
+    return data_ + at;
+  }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    const size_type at = static_cast<size_type>(first - data_);
+    const size_type count = static_cast<size_type>(last - first);
+    std::memmove(data_ + at, data_ + at + count,
+                 (size_ - at - count) * sizeof(T));
+    size_ -= count;
+    return data_ + at;
+  }
+
+  void pop_back() { --size_; }
+
+  void resize(size_type wanted) {
+    reserve(wanted);
+    for (size_type i = size_; i < wanted; ++i) data_[i] = T{};
+    size_ = wanted;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  void Grow(size_type wanted) {
+    const size_type next = std::max(wanted, capacity_ * 2);
+    T* fresh = new T[next];
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    ReleaseHeap();
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  void ReleaseHeap() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  /// Takes other's heap buffer or copies its inline elements; leaves
+  /// `other` empty and inline either way.
+  void StealFrom(SmallVector& other) {
+    if (other.data_ != other.inline_) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = N;
+    } else {
+      data_ = inline_;
+      capacity_ = N;
+      std::memcpy(inline_, other.inline_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    }
+    other.size_ = 0;
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  size_type size_ = 0;
+  size_type capacity_ = N;
+};
+
+}  // namespace hobbit::common

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <iterator>
-#include <map>
 
 #include "hobbit/hierarchy.h"
 
@@ -48,10 +47,9 @@ ConfidenceTable ConfidenceTable::Build(
   // prober can see when it consults the table).
   ConfidenceTable table;
   std::vector<std::uint32_t> indices;
-  std::vector<AddressGroup> groups;
-  std::map<netsim::Ipv4Address, std::pair<netsim::Ipv4Address,
-                                          netsim::Ipv4Address>>
-      ranges;  // router -> (min, max)
+  // Same incremental machinery the prober runs, so the table is trained
+  // on exactly the statistic the prober consults.
+  IncrementalGrouping grouping;
   for (const FullyProbedBlock& block : dataset) {
     if (!block.homogeneous) continue;
     const auto total = static_cast<std::uint32_t>(block.observations.size());
@@ -65,49 +63,27 @@ ConfidenceTable ConfidenceTable::Build(
         auto j = static_cast<std::uint32_t>(i + rng.NextBelow(total - i));
         std::swap(indices[i], indices[j]);
       }
-      ranges.clear();
+      grouping.Clear();
       bool passed = false;
-      std::vector<netsim::Ipv4Address> common;
+      LastHopSet common;
       for (std::uint32_t k = 0; k < walk_limit; ++k) {
         const AddressObservation& obs = block.observations[indices[k]];
         if (k == 0) {
           common = obs.last_hops;
         } else if (!common.empty()) {
-          std::vector<netsim::Ipv4Address> next;
-          std::set_intersection(common.begin(), common.end(),
-                                obs.last_hops.begin(), obs.last_hops.end(),
-                                std::back_inserter(next));
-          common = std::move(next);
+          IntersectSortedInPlace(common, obs.last_hops);
         }
-        for (netsim::Ipv4Address router : obs.last_hops) {
-          auto [pos, inserted] =
-              ranges.try_emplace(router, obs.address, obs.address);
-          if (!inserted) {
-            if (obs.address < pos->second.first) {
-              pos->second.first = obs.address;
-            }
-            if (pos->second.second < obs.address) {
-              pos->second.second = obs.address;
-            }
-          }
-        }
-        if (!passed && ranges.size() >= 2) {
-          groups.clear();
-          for (const auto& [router, range] : ranges) {
-            AddressGroup g;
-            g.router = router;
-            g.min = range.first;
-            g.max = range.second;
-            groups.push_back(std::move(g));
-          }
-          passed = !GroupsAreHierarchical(groups);
+        grouping.Add(obs);
+        if (!passed && grouping.group_count() >= 2) {
+          passed = !grouping.Hierarchical();
         }
         const int probed = static_cast<int>(k) + 1;
         // Record only the states in which the prober actually consults
         // the table: no common last hop across the addresses so far (a
         // shared interface triggers the six-destination rule instead).
         if (probed >= 4 && common.empty()) {
-          table.Record(static_cast<int>(ranges.size()), probed, passed);
+          table.Record(static_cast<int>(grouping.group_count()), probed,
+                       passed);
         }
       }
     }

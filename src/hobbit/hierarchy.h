@@ -23,6 +23,10 @@ namespace hobbit::core {
 /// same template over 128-bit addresses.)
 using AddressGroup = BasicAddressGroup<netsim::Ipv4Address>;
 
+/// Incremental grouping + hierarchy state for the adaptive probing loop
+/// (see BasicIncrementalGrouping for the equivalence argument).
+using IncrementalGrouping = BasicIncrementalGrouping<netsim::Ipv4Address>;
+
 /// Builds groups from observations.  An address with several last-hop
 /// interfaces joins every corresponding group.  Observations with no
 /// identified last hop are skipped.  Groups come back sorted by router.

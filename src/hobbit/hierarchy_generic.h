@@ -52,17 +52,18 @@ std::vector<BasicAddressGroup<Address>> GroupByLastHopGeneric(
   return groups;
 }
 
-/// Laminar-family check: every pair of group ranges disjoint or nested.
+/// A contiguous address range (both ends inclusive).
 template <typename Address>
-bool GroupsAreHierarchicalGeneric(
-    std::span<const BasicAddressGroup<Address>> groups) {
-  if (groups.size() < 2) return true;
-  struct Range {
-    Address min, max;
-  };
-  std::vector<Range> ranges;
-  ranges.reserve(groups.size());
-  for (const auto& group : groups) ranges.push_back({group.min, group.max});
+struct MinMaxRange {
+  Address min, max;
+};
+
+/// Laminar-family check over bare ranges: true when every pair is disjoint
+/// or nested.  Sorts `ranges` in place (callers pass scratch storage).
+template <typename Address>
+bool RangesAreLaminar(std::vector<MinMaxRange<Address>>& ranges) {
+  if (ranges.size() < 2) return true;
+  using Range = MinMaxRange<Address>;
   std::sort(ranges.begin(), ranges.end(),
             [](const Range& a, const Range& b) {
               if (a.min < b.min) return true;
@@ -77,6 +78,120 @@ bool GroupsAreHierarchicalGeneric(
   }
   return true;
 }
+
+/// Laminar-family check: every pair of group ranges disjoint or nested.
+template <typename Address>
+bool GroupsAreHierarchicalGeneric(
+    std::span<const BasicAddressGroup<Address>> groups) {
+  if (groups.size() < 2) return true;
+  std::vector<MinMaxRange<Address>> ranges;
+  ranges.reserve(groups.size());
+  for (const auto& group : groups) ranges.push_back({group.min, group.max});
+  return RangesAreLaminar(ranges);
+}
+
+/// Keeps `common` (sorted unique) to its intersection with `other` (also
+/// sorted unique), writing the survivors in place — no allocation.
+template <typename Container, typename OtherContainer>
+void IntersectSortedInPlace(Container& common, const OtherContainer& other) {
+  auto out = common.begin();
+  auto a = common.begin();
+  const auto a_end = common.end();
+  auto b = std::begin(other);
+  const auto b_end = std::end(other);
+  while (a != a_end && b != b_end) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      *out++ = *a;
+      ++a;
+      ++b;
+    }
+  }
+  common.erase(out, a_end);
+}
+
+/// Incremental equivalent of GroupByLastHopGeneric +
+/// GroupsAreHierarchicalGeneric for the adaptive probing loop (§3.3).
+///
+/// The batch pipeline regroups ALL observations after every probe —
+/// O(n log n) each time, O(n^2 log n) per block.  But the hierarchy
+/// verdict only reads each group's [min, max] range, and a new
+/// observation can only *extend* ranges it touches, so per observation we
+/// maintain one map entry per last-hop interface: O(log g) with g =
+/// distinct last hops (single digits in practice).
+///
+/// The laminar verdict itself is NOT monotone — two partially overlapping
+/// ranges can become nested again once one of them grows — so it cannot
+/// be latched false; instead a dirty flag triggers a lazy O(g log g)
+/// recompute, and ranges change only O(log n) times each in expectation
+/// under random probe order (running-extremum updates), keeping the
+/// amortized cost per observation near-constant.
+///
+/// Equivalence with the batch path holds by construction: duplicate
+/// members never move a min or max, multi-interface observations join
+/// every touched group (same as the batch grouping), and group count
+/// equals the number of distinct last-hop interfaces either way.  The
+/// differential test (tests/test_incremental_grouping.cpp) checks this on
+/// randomized sequences.
+template <typename Address>
+class BasicIncrementalGrouping {
+ public:
+  /// Folds one observation (anything with `.address` and an iterable
+  /// `.last_hops`) into the grouping state.
+  template <typename Observation>
+  void Add(const Observation& obs) {
+    for (const Address& router : obs.last_hops) {
+      auto [it, inserted] =
+          ranges_.try_emplace(router, MinMaxRange<Address>{obs.address,
+                                                           obs.address});
+      if (inserted) {
+        dirty_ = true;
+        continue;
+      }
+      MinMaxRange<Address>& range = it->second;
+      if (obs.address < range.min) {
+        range.min = obs.address;
+        dirty_ = true;
+      }
+      if (range.max < obs.address) {
+        range.max = obs.address;
+        dirty_ = true;
+      }
+    }
+  }
+
+  /// Number of distinct last-hop interfaces seen so far.
+  std::size_t group_count() const { return ranges_.size(); }
+
+  /// Matches GroupsAreHierarchicalGeneric(GroupByLastHopGeneric(all
+  /// observations added so far)).  Lazily recomputed; cached between
+  /// range changes.
+  bool Hierarchical() const {
+    if (dirty_) {
+      scratch_.clear();
+      scratch_.reserve(ranges_.size());
+      for (const auto& [router, range] : ranges_) scratch_.push_back(range);
+      hierarchical_ = RangesAreLaminar(scratch_);
+      dirty_ = false;
+    }
+    return hierarchical_;
+  }
+
+  void Clear() {
+    ranges_.clear();
+    dirty_ = false;
+    hierarchical_ = true;
+  }
+
+ private:
+  std::map<Address, MinMaxRange<Address>> ranges_;
+  mutable std::vector<MinMaxRange<Address>> scratch_;
+  mutable bool dirty_ = false;
+  mutable bool hierarchical_ = true;  // vacuously, for < 2 groups
+};
 
 /// True when some last-hop router appears in every observation.
 template <typename Address, typename Observation>

@@ -1,6 +1,7 @@
 #include "hobbit/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/parallel.h"
 
@@ -49,16 +50,24 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
   common::ThreadPool* pool =
       config.pool != nullptr ? config.pool : &local_pool;
 
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
   // Stage 0: snapshot + universe selection (liveness read through the
   // chosen simulator's epoch).
+  const auto snapshot_start = Clock::now();
   probing::ZmapSnapshot snapshot =
       probing::RunZmapScan(internet, internet.study_24s, simulator);
   result.stats.snapshot_active_addresses = snapshot.ActiveCount();
   result.stats.candidate_24s = snapshot.blocks.size();
   result.study_blocks = probing::SelectStudyBlocks(snapshot);
   result.stats.study_24s = result.study_blocks.size();
+  result.stats.snapshot_seconds = seconds_since(snapshot_start);
 
   // Stage 1: calibration — exhaustively probe a uniform sample.
+  const auto calibration_start = Clock::now();
   {
     const std::uint64_t before = simulator->probes_sent();
     const std::size_t universe = result.study_blocks.size();
@@ -77,28 +86,41 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
       std::swap(indices[i], indices[j]);
     }
     result.calibration.resize(want);
-    pool->ForEach(want, [&](std::size_t i) {
+    // One prober per shard, reused across that shard's blocks: the prober
+    // carries warm per-campaign state (its route memo), and each block's
+    // result depends only on its own RNG fork, so the shard->block
+    // assignment cannot change any output (see tests/test_concurrency.cpp).
+    pool->ForEachShard(want, [&](std::size_t shard, std::size_t shard_count) {
       BlockProber shard_prober(simulator, nullptr, config.prober);
-      result.calibration[i] = shard_prober.ProbeBlockFully(
-          result.study_blocks[indices[i]], rng.Fork(indices[i]));
+      for (std::size_t i = shard; i < want; i += shard_count) {
+        result.calibration[i] = shard_prober.ProbeBlockFully(
+            result.study_blocks[indices[i]], rng.Fork(indices[i]));
+      }
     });
     result.stats.probes_sent += simulator->probes_sent() - before;
   }
   result.table = ConfidenceTable::Build(result.calibration,
                                         rng.Fork(0x7AB1EULL),
                                         config.samples_per_block);
+  result.stats.calibration_seconds = seconds_since(calibration_start);
 
   // Stage 2: the main measurement.
+  const auto measurement_start = Clock::now();
   {
     const std::uint64_t before = simulator->probes_sent();
     result.results.resize(result.study_blocks.size());
-    pool->ForEach(result.study_blocks.size(), [&](std::size_t i) {
+    const std::size_t block_count = result.study_blocks.size();
+    pool->ForEachShard(block_count, [&](std::size_t shard,
+                                        std::size_t shard_count) {
       BlockProber shard_prober(simulator, &result.table, config.prober);
-      result.results[i] = shard_prober.ProbeBlock(
-          result.study_blocks[i], rng.Fork(0xB10CULL + i));
+      for (std::size_t i = shard; i < block_count; i += shard_count) {
+        result.results[i] = shard_prober.ProbeBlock(
+            result.study_blocks[i], rng.Fork(0xB10CULL + i));
+      }
     });
     result.stats.probes_sent += simulator->probes_sent() - before;
   }
+  result.stats.measurement_seconds = seconds_since(measurement_start);
   return result;
 }
 

@@ -47,6 +47,11 @@ struct PipelineStats {
   std::size_t candidate_24s = 0;   ///< /24s with any snapshot responder
   std::size_t study_24s = 0;       ///< /24s passing the /26 criterion
   std::uint64_t probes_sent = 0;   ///< calibration + measurement packets
+  // Wall-clock breakdown of the campaign, for the perf benchmarks
+  // (bench/bench_pipeline_scaling.cpp).
+  double snapshot_seconds = 0.0;     ///< stage 0: zmap scan + selection
+  double calibration_seconds = 0.0;  ///< stage 1 incl. the table build
+  double measurement_seconds = 0.0;  ///< stage 2: the main campaign
 };
 
 struct PipelineResult {

@@ -63,8 +63,11 @@ class DestinationSchedule {
   std::size_t round_pos_ = 0;
 };
 
+/// Merges `add` (sorted unique) into `set` (sorted unique), keeping order.
+template <typename Container>
 void MergeLastHops(std::vector<netsim::Ipv4Address>& set,
-                   const std::vector<netsim::Ipv4Address>& add) {
+                   const Container& add) {
+  set.reserve(set.size() + add.size());
   for (netsim::Ipv4Address a : add) {
     auto pos = std::lower_bound(set.begin(), set.end(), a);
     if (pos == set.end() || *pos != a) set.insert(pos, a);
@@ -75,20 +78,48 @@ void MergeLastHops(std::vector<netsim::Ipv4Address>& set,
 
 BlockResult BlockProber::ProbeBlock(const probing::ZmapBlock& block,
                                     netsim::Rng rng) {
+  probing::LastHopProber prober(simulator_,
+                                options_.route_memo ? &memo_ : nullptr);
+  BlockResult result = ProbeBlockImpl(block, rng, prober);
+  // Sole accounting point: every termination path of the impl lands here,
+  // so probes_used is recorded exactly once per block.
+  result.probes_used = static_cast<int>(prober.probes_sent());
+  probes_sent_ += prober.probes_sent();
+  return result;
+}
+
+BlockResult BlockProber::ProbeBlockImpl(const probing::ZmapBlock& block,
+                                        netsim::Rng rng,
+                                        probing::LastHopProber& prober) {
   BlockResult result;
   result.prefix = block.prefix;
   result.active_in_snapshot = static_cast<int>(block.active_octets.size());
 
   DestinationSchedule schedule(block, rng.Fork(0x5C4EDULL));
-  probing::LastHopProber prober(simulator_);
 
+  // Grouping state.  The incremental path folds each observation into
+  // per-last-hop [min, max] ranges as it arrives (O(log g)); the batch
+  // path regroups everything after every probe (the original O(n^2)
+  // reference, kept for differential testing).  Same verdicts either way;
+  // see BasicIncrementalGrouping.
+  IncrementalGrouping incremental;
   std::vector<AddressGroup> groups;
+  const auto cardinality_now = [&]() {
+    return static_cast<int>(options_.incremental_grouping
+                                ? incremental.group_count()
+                                : groups.size());
+  };
+  const auto non_hierarchical_now = [&]() {
+    return options_.incremental_grouping ? !incremental.Hierarchical()
+                                         : !GroupsAreHierarchical(groups);
+  };
+
   int usable = 0;                 // destinations with an identified last hop
   int consecutive_no_new = 0;     // reprobe strategy counter
   bool stopped_by_rule = false;
   // Running intersection of per-address last-hop sets: non-empty means
   // every probed address shares a common last-hop router.
-  std::vector<netsim::Ipv4Address> common;
+  LastHopSet common;
 
   while (auto destination = schedule.Next()) {
     probing::LastHopResult lh = prober.Probe(*destination);
@@ -107,19 +138,19 @@ BlockResult BlockProber::ProbeBlock(const probing::ZmapBlock& block,
     if (usable == 0) {
       common = lh.last_hops;
     } else if (!common.empty()) {
-      std::vector<netsim::Ipv4Address> next;
-      std::set_intersection(common.begin(), common.end(),
-                            lh.last_hops.begin(), lh.last_hops.end(),
-                            std::back_inserter(next));
-      common = std::move(next);
+      IntersectSortedInPlace(common, lh.last_hops);
     }
     result.observations.push_back({*destination, std::move(lh.last_hops)});
     ++usable;
     consecutive_no_new =
         result.last_hop_set.size() == before ? consecutive_no_new + 1 : 0;
 
-    groups = GroupByLastHop(result.observations);
-    const int cardinality = static_cast<int>(groups.size());
+    if (options_.incremental_grouping) {
+      incremental.Add(result.observations.back());
+    } else {
+      groups = GroupByLastHop(result.observations);
+    }
+    const int cardinality = cardinality_now();
 
     if (options_.reprobe_strategy) {
       // §6.5: keep going until the last-hop set is exhausted with MDA
@@ -133,11 +164,8 @@ BlockResult BlockProber::ProbeBlock(const probing::ZmapBlock& block,
     }
 
     // Standard strategy terminations.
-    if (common.empty() && cardinality >= 2 &&
-        !GroupsAreHierarchical(groups)) {
+    if (common.empty() && cardinality >= 2 && non_hierarchical_now()) {
       result.classification = Classification::kNonHierarchical;
-      result.probes_used = static_cast<int>(prober.probes_sent());
-      probes_sent_ += prober.probes_sent();
       return result;
     }
     if (!common.empty() && usable >= options_.same_last_hop_stop) {
@@ -145,8 +173,6 @@ BlockResult BlockProber::ProbeBlock(const probing::ZmapBlock& block,
       // rule; "common" rather than "only", since per-flow balancing at
       // the final hop gives addresses several last-hop interfaces).
       result.classification = Classification::kSameLastHop;
-      result.probes_used = static_cast<int>(prober.probes_sent());
-      probes_sent_ += prober.probes_sent();
       return result;
     }
     // The confidence rule only concerns blocks with no common last hop: a
@@ -163,9 +189,6 @@ BlockResult BlockProber::ProbeBlock(const probing::ZmapBlock& block,
     }
   }
 
-  result.probes_used = static_cast<int>(prober.probes_sent());
-  probes_sent_ += prober.probes_sent();
-
   // Ran out of destinations, or the confidence rule fired.
   if (usable < options_.min_active) {
     result.classification = result.lasthop_unresponsive > 0 && usable == 0
@@ -173,7 +196,7 @@ BlockResult BlockProber::ProbeBlock(const probing::ZmapBlock& block,
                                 : Classification::kTooFewActive;
     return result;
   }
-  const int cardinality = static_cast<int>(groups.size());
+  const int cardinality = cardinality_now();
   if (!common.empty()) {
     // A shared last hop throughout, but we never reached the
     // six-destination rule: the block had too few usable addresses to
@@ -183,7 +206,7 @@ BlockResult BlockProber::ProbeBlock(const probing::ZmapBlock& block,
                                 : Classification::kTooFewActive;
     return result;
   }
-  if (cardinality >= 2 && !GroupsAreHierarchical(groups)) {
+  if (cardinality >= 2 && non_hierarchical_now()) {
     result.classification = Classification::kNonHierarchical;
     return result;
   }
@@ -218,7 +241,8 @@ FullyProbedBlock BlockProber::ProbeBlockFully(const probing::ZmapBlock& block,
   result.prefix = block.prefix;
 
   DestinationSchedule schedule(block, rng.Fork(0xF0BBULL));
-  probing::LastHopProber prober(simulator_);
+  probing::LastHopProber prober(simulator_,
+                                options_.route_memo ? &memo_ : nullptr);
   std::vector<netsim::Ipv4Address> union_set;
   while (auto destination = schedule.Next()) {
     probing::LastHopResult lh = prober.Probe(*destination);

@@ -24,7 +24,9 @@
 #include "hobbit/confidence.h"
 #include "hobbit/types.h"
 #include "netsim/rng.h"
+#include "netsim/route_memo.h"
 #include "netsim/simulator.h"
+#include "probing/last_hop.h"
 #include "probing/zmap.h"
 
 namespace hobbit::core {
@@ -40,6 +42,14 @@ struct ProberOptions {
   std::uint32_t min_cell_trials = 200;
   /// Reprobing mode: no early stops, MDA-style exhaustion of last hops.
   bool reprobe_strategy = false;
+  /// Maintain grouping state incrementally (O(log g) per observation)
+  /// instead of regrouping every observation after every probe.  The
+  /// classifications are identical; the toggle exists so differential
+  /// tests can compare against the reference batch path.
+  bool incremental_grouping = true;
+  /// Memoize FIB resolutions across a prober's probes (route_memo.h).
+  /// Probe replies are bit-identical either way; toggleable likewise.
+  bool route_memo = true;
 };
 
 /// Probes /24 blocks through a Simulator.  The confidence table may be
@@ -61,9 +71,23 @@ class BlockProber {
   std::uint64_t probes_sent() const { return probes_sent_; }
 
  private:
+  /// The probing loop proper.  Deliberately does NOT touch any probe
+  /// accounting: ProbeBlock records `probes_used` and `probes_sent_`
+  /// exactly once, after this returns, no matter which termination rule
+  /// fired (early returns inside the loop used to duplicate — and one
+  /// path skip — the bookkeeping).
+  BlockResult ProbeBlockImpl(const probing::ZmapBlock& block,
+                             netsim::Rng rng,
+                             probing::LastHopProber& prober);
+
   const netsim::Simulator* simulator_;
   const ConfidenceTable* table_;
   ProberOptions options_;
+  /// Per-prober route memo — single-owner mutable state, so a prober must
+  /// not be shared across threads (the Simulator it probes through may
+  /// be).  Reused across blocks: the memo's exactness guarantee makes
+  /// cross-block reuse safe and is what amortizes the FIB searches.
+  netsim::RouteMemo memo_;
   std::uint64_t probes_sent_ = 0;
 };
 

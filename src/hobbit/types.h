@@ -5,9 +5,15 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "netsim/ipv4.h"
 
 namespace hobbit::core {
+
+/// Per-destination last-hop interface set.  Nearly always a single
+/// interface (a handful under per-flow diversity), so storage is inline
+/// and the measurement hot loop performs no per-observation allocation.
+using LastHopSet = common::SmallVector<netsim::Ipv4Address, 4>;
 
 /// The five-way outcome of measuring one /24 (paper Table 1).
 enum class Classification : std::uint8_t {
@@ -35,7 +41,7 @@ struct AddressObservation {
   netsim::Ipv4Address address;
   /// Sorted unique last-hop interfaces (usually one; more under per-flow
   /// diversity at the final hop).  Empty == last hop unresponsive.
-  std::vector<netsim::Ipv4Address> last_hops;
+  LastHopSet last_hops;
 };
 
 /// The measurement record of one /24 block.

@@ -26,13 +26,25 @@ constexpr std::uint64_t Mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Initial folding state of StableHash; the seed of every stable hash.
+inline constexpr std::uint64_t kStableHashInit = 0x2545f4914f6cdd1dULL;
+
+/// Continues a stable hash from an already-folded prefix state.  Because
+/// StableHash folds its parts strictly left to right, a caller that
+/// always hashes `{constant..., varying...}` can fold the constant prefix
+/// once and reuse it: `StableHashFrom(prefix, {varying...})` equals
+/// `StableHash({constant..., varying...})` bit for bit.
+constexpr std::uint64_t StableHashFrom(
+    std::uint64_t state, std::initializer_list<std::uint64_t> parts) {
+  for (std::uint64_t p : parts) state = Mix64(state ^ p);
+  return state;
+}
+
 /// Stateless stable hash of a sequence of 64-bit words.  Used for hashing
 /// flow tuples in load balancers and for deciding per-entity properties
 /// (responsiveness draws, OS choice) without consuming stream state.
 constexpr std::uint64_t StableHash(std::initializer_list<std::uint64_t> parts) {
-  std::uint64_t h = 0x2545f4914f6cdd1dULL;
-  for (std::uint64_t p : parts) h = Mix64(h ^ p);
-  return h;
+  return StableHashFrom(kStableHashInit, parts);
 }
 
 /// Maps a stable hash to a uniform double in [0, 1).

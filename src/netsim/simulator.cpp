@@ -12,7 +12,8 @@ Simulator::Simulator(const Topology* topology, RouterId source_router,
       source_address_(source_address),
       host_model_(std::move(host_model)),
       rtt_model_(std::move(rtt_model)),
-      config_(config) {
+      config_(config),
+      seed_hash_state_(StableHashFrom(kStableHashInit, {config.seed})) {
   assert(topology_ != nullptr && topology_->sealed());
 }
 
@@ -26,25 +27,26 @@ RouterId Simulator::PickNextHop(RouterId router, const EcmpGroup& group,
   // independent choices (this is what multiplies cardinality, §3.1).
   switch (group.policy) {
     case LbPolicy::kPerFlow:
-      h = StableHash({config_.seed, router, dst.value(),
-                      source_address_.value(), flow_id});
+      h = StableHashFrom(seed_hash_state_,
+                         {router, dst.value(), source_address_.value(),
+                          flow_id});
       break;
     case LbPolicy::kPerDestination:
-      h = StableHash({config_.seed, router, dst.value()});
+      h = StableHashFrom(seed_hash_state_, {router, dst.value()});
       break;
     case LbPolicy::kPerDestinationCyclic:
       // Randomized per 8-address block, cycling within it: adjacent
       // destinations almost always map to different next hops.
-      h = StableHash({config_.seed, router, dst.value() >> 3}) +
+      h = StableHashFrom(seed_hash_state_, {router, dst.value() >> 3}) +
           dst.value();
       break;
     case LbPolicy::kPerDestAndSrc:
-      h = StableHash({config_.seed, router, dst.value(),
-                      source_address_.value()});
+      h = StableHashFrom(seed_hash_state_,
+                         {router, dst.value(), source_address_.value()});
       break;
     case LbPolicy::kPerPacket:
-      h = StableHash({config_.seed, router, dst.value(), serial,
-                      0xBEEFULL});
+      h = StableHashFrom(seed_hash_state_,
+                         {router, dst.value(), serial, 0xBEEFULL});
       break;
   }
   return group.next_hops[h % group.next_hops.size()];
@@ -52,25 +54,105 @@ RouterId Simulator::PickNextHop(RouterId router, const EcmpGroup& group,
 
 std::vector<RouterId> Simulator::ResolvePath(Ipv4Address destination,
                                              std::uint16_t flow_id,
-                                             std::uint64_t serial) const {
-  SubnetId subnet_id = topology_->FindSubnet(destination);
-  if (subnet_id == kNoSubnet) return {};
+                                             std::uint64_t serial,
+                                             RouteMemo* memo) const {
+  if (memo != nullptr) {
+    if (const RouteMemo::PathSlot* cached =
+            memo->FindPath(*topology_, destination, flow_id)) {
+      return std::vector<RouterId>(cached->hops.begin(),
+                                   cached->hops.begin() + cached->length);
+    }
+  }
+  RouterId unused = kNoRouter;
+  std::vector<RouterId> path;
+  const int length =
+      WalkForward(destination, flow_id, serial, memo, 0, &unused, &path);
+  if (length == 0) return {};
+  return path;
+}
+
+int Simulator::WalkForward(Ipv4Address destination, std::uint16_t flow_id,
+                           std::uint64_t serial, RouteMemo* memo,
+                           int want_hop, RouterId* at_hop,
+                           std::vector<RouterId>* full_path) const {
+  if (memo == nullptr) {
+    // Lean reference walk: no recording overhead.
+    SubnetId subnet_id = topology_->FindSubnet(destination);
+    if (subnet_id == kNoSubnet) return 0;
+    const auto& gateways = topology_->subnet(subnet_id).gateways;
+    RouterId current = source_router_;
+    for (int hop = 1; hop <= config_.max_hops; ++hop) {
+      if (hop == want_hop) *at_hop = current;
+      if (full_path != nullptr) full_path->push_back(current);
+      for (RouterId gw : gateways) {
+        if (gw == current) return hop;
+      }
+      const FibEntry* entry =
+          topology_->router(current).fib.LookupEntry(destination);
+      if (entry == nullptr || entry->group.next_hops.empty()) break;
+      current =
+          PickNextHop(current, entry->group, destination, flow_id, serial);
+    }
+    if (full_path != nullptr) full_path->clear();
+    return 0;  // unroutable, a dead end, or a forwarding loop
+  }
+
+  if (full_path == nullptr) {
+    if (const RouteMemo::PathSlot* cached =
+            memo->FindPath(*topology_, destination, flow_id)) {
+      if (want_hop >= 1 && want_hop <= cached->length) {
+        *at_hop = cached->hops[want_hop - 1];
+      }
+      return cached->length;
+    }
+  }
+  SubnetId subnet_id = memo->FindSubnet(*topology_, destination);
+  if (subnet_id == kNoSubnet) {
+    memo->StorePath(*topology_, destination, flow_id, nullptr, 0);
+    return 0;
+  }
   const auto& gateways = topology_->subnet(subnet_id).gateways;
 
-  std::vector<RouterId> path;
+  // Record the walk for the memo as it happens.  Walks whose next hop
+  // ever depends on the probe serial (multi-next-hop per-packet
+  // balancers) or that outrun the slot's capacity are left uncached.
+  std::array<RouterId, RouteMemo::kMaxCachedHops> trail;
+  bool cacheable = true;
+
   RouterId current = source_router_;
-  for (int hop = 0; hop < config_.max_hops; ++hop) {
-    path.push_back(current);
-    // Direct attachment ends the walk: `current` is the last-hop router.
-    for (RouterId gw : gateways) {
-      if (gw == current) return path;
+  int length = 0;
+  for (int hop = 1; hop <= config_.max_hops; ++hop) {
+    if (hop == want_hop) *at_hop = current;
+    if (hop <= RouteMemo::kMaxCachedHops) {
+      trail[hop - 1] = current;
+    } else {
+      cacheable = false;
     }
-    const Router& router = topology_->router(current);
-    const EcmpGroup* group = router.fib.Lookup(destination);
-    if (group == nullptr || group->next_hops.empty()) return {};
-    current = PickNextHop(current, *group, destination, flow_id, serial);
+    if (full_path != nullptr) full_path->push_back(current);
+    bool terminal = false;
+    for (RouterId gw : gateways) {
+      if (gw == current) terminal = true;
+    }
+    if (terminal) {
+      length = hop;
+      break;
+    }
+    const FibEntry* entry = memo->Lookup(*topology_, current, destination);
+    if (entry == nullptr || entry->group.next_hops.empty()) break;
+    if (entry->group.policy == LbPolicy::kPerPacket &&
+        entry->group.next_hops.size() > 1) {
+      cacheable = false;
+    }
+    current =
+        PickNextHop(current, entry->group, destination, flow_id, serial);
   }
-  return {};  // forwarding loop or absurdly long path
+  // length stays 0 on a dead end or a forwarding loop / absurdly long
+  // path — deterministically per (destination, flow), so cacheable too.
+  if (cacheable) {
+    memo->StorePath(*topology_, destination, flow_id, trail.data(), length);
+  }
+  if (length == 0 && full_path != nullptr) full_path->clear();
+  return length;
 }
 
 RouterId Simulator::GroundTruthLastHop(Ipv4Address destination,
@@ -87,36 +169,37 @@ bool Simulator::RouterResponds(RouterId router,
   // Rate limiting is bursty, not i.i.d. per packet: a limited router
   // stays silent for the whole episode of probing one destination.
   // Model it as a deterministic draw per (router, destination).
-  double u = HashToUnit(
-      StableHash({config_.seed, router, destination.value(), 0x4E590ULL}));
+  double u = HashToUnit(StableHashFrom(
+      seed_hash_state_, {router, destination.value(), 0x4E590ULL}));
   return u < model.respond_probability;
 }
 
 int Simulator::ReverseHops(Ipv4Address destination, int forward_hops) const {
-  double u = HashToUnit(StableHash(
-      {config_.seed, destination.value(), 0x4E7E45EULL}));
+  double u = HashToUnit(StableHashFrom(
+      seed_hash_state_, {destination.value(), 0x4E7E45EULL}));
   if (u >= config_.p_reverse_asymmetry) return forward_hops;
   // Deterministic per-destination extra length in [1, max].
   int extra = 1 + static_cast<int>(
-                      HashToUnit(StableHash({config_.seed,
-                                             destination.value(),
-                                             0xA57AULL})) *
+                      HashToUnit(StableHashFrom(
+                          seed_hash_state_,
+                          {destination.value(), 0xA57AULL})) *
                       config_.max_reverse_extra_hops);
   return forward_hops + extra;
 }
 
-ProbeReply Simulator::Send(const ProbeSpec& probe) const {
+ProbeReply Simulator::Send(const ProbeSpec& probe, RouteMemo* memo) const {
   probes_sent_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<RouterId> path =
-      ResolvePath(probe.destination, probe.flow_id, probe.serial);
-  if (path.empty()) return {};  // unroutable: timeout
+  RouterId expiring = kNoRouter;
+  const int path_length = WalkForward(probe.destination, probe.flow_id,
+                                      probe.serial, memo, probe.ttl,
+                                      &expiring);
+  if (path_length == 0) return {};  // unroutable: timeout
 
   // The destination host sits one hop beyond the last router, so the
   // probe reaches the host when ttl > path length.
-  const int host_hop = static_cast<int>(path.size()) + 1;
+  const int host_hop = path_length + 1;
   if (probe.ttl < host_hop) {
-    // TTL expires at router path[ttl - 1] (hop `ttl`).
-    RouterId expiring = path[static_cast<std::size_t>(probe.ttl) - 1];
+    // TTL expires at the router at hop `ttl` (recorded by the walk).
     if (!RouterResponds(expiring, probe.destination)) return {};
     ProbeReply reply;
     reply.kind = ReplyKind::kTtlExceeded;
@@ -129,7 +212,9 @@ ProbeReply Simulator::Send(const ProbeSpec& probe) const {
     return reply;
   }
 
-  SubnetId subnet_id = topology_->FindSubnet(probe.destination);
+  SubnetId subnet_id = memo != nullptr
+                           ? memo->FindSubnet(*topology_, probe.destination)
+                           : topology_->FindSubnet(probe.destination);
   if (subnet_id == kNoSubnet) return {};
   const Subnet& subnet = topology_->subnet(subnet_id);
   if (!host_model_.ActiveAtProbeTime(probe.destination, subnet)) return {};

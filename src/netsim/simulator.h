@@ -21,6 +21,7 @@
 #include "netsim/ipv4.h"
 #include "netsim/outage.h"
 #include "netsim/rng.h"
+#include "netsim/route_memo.h"
 #include "netsim/rtt_model.h"
 #include "netsim/topology.h"
 
@@ -78,8 +79,11 @@ class Simulator {
             Ipv4Address source_address, HostModel host_model,
             RttModel rtt_model, SimulatorConfig config);
 
-  /// Sends one probe and returns what the source observes.
-  ProbeReply Send(const ProbeSpec& probe) const;
+  /// Sends one probe and returns what the source observes.  `memo`, when
+  /// non-null, caches FIB resolutions across calls (see route_memo.h);
+  /// replies are bit-identical with and without it.  The memo must be
+  /// owned by the calling thread — the simulator itself stays const.
+  ProbeReply Send(const ProbeSpec& probe, RouteMemo* memo = nullptr) const;
 
   /// The forward router path the given header would take, ending with the
   /// last-hop router.  Empty when the destination is not routable.  This
@@ -87,7 +91,8 @@ class Simulator {
   /// tools must not call it.
   std::vector<RouterId> ResolvePath(Ipv4Address destination,
                                     std::uint16_t flow_id,
-                                    std::uint64_t serial) const;
+                                    std::uint64_t serial,
+                                    RouteMemo* memo = nullptr) const;
 
   /// Ground-truth last-hop router for a header, or kNoRouter.
   RouterId GroundTruthLastHop(Ipv4Address destination,
@@ -123,6 +128,18 @@ class Simulator {
                        Ipv4Address dst, std::uint16_t flow_id,
                        std::uint64_t serial) const;
 
+  /// Allocation-free forward walk used by Send: returns the path length
+  /// (routers traversed, 0 when unroutable) and, when `want_hop` lies on
+  /// the path, stores the router at that 1-based hop in `*at_hop`.
+  /// Identical routing decisions to ResolvePath.  With a memo, whole
+  /// walks are served from (and recorded into) its path cache; pass
+  /// `full_path` to additionally collect every hop (disables the cached
+  /// fast path for this call).
+  int WalkForward(Ipv4Address destination, std::uint16_t flow_id,
+                  std::uint64_t serial, RouteMemo* memo, int want_hop,
+                  RouterId* at_hop,
+                  std::vector<RouterId>* full_path = nullptr) const;
+
   bool RouterResponds(RouterId router, Ipv4Address destination) const;
 
   int ReverseHops(Ipv4Address destination, int forward_hops) const;
@@ -133,6 +150,9 @@ class Simulator {
   HostModel host_model_;
   RttModel rtt_model_;
   SimulatorConfig config_;
+  // StableHash({config_.seed, ...}) pre-folded through its first part;
+  // every forwarding-time hash starts from this state (see StableHashFrom).
+  std::uint64_t seed_hash_state_;
   const OutageOverlay* outage_ = nullptr;
   mutable std::atomic<std::uint64_t> probes_sent_{0};
 };

@@ -1,6 +1,7 @@
 #include "netsim/topology.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -42,18 +43,27 @@ const EcmpGroup* Fib::Lookup(Ipv4Address dst) const {
   return entry == nullptr ? nullptr : &entry->group;
 }
 
+int Fib::max_length() const {
+  return lengths_present_ == 0
+             ? 0
+             : 63 - std::countl_zero(lengths_present_);
+}
+
 RouterId Topology::AddRouter(Router router) {
+  ++mutation_epoch_;
   routers_.push_back(std::move(router));
   return static_cast<RouterId>(routers_.size() - 1);
 }
 
 SubnetId Topology::AddSubnet(Subnet subnet) {
   assert(!sealed_);
+  ++mutation_epoch_;
   subnets_.push_back(std::move(subnet));
   return static_cast<SubnetId>(subnets_.size() - 1);
 }
 
 void Topology::Seal() {
+  ++mutation_epoch_;
   subnet_index_.resize(subnets_.size());
   for (std::size_t i = 0; i < subnets_.size(); ++i) {
     subnet_index_[i] = static_cast<SubnetId>(i);

@@ -11,6 +11,7 @@
 // it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -76,6 +77,12 @@ class Fib {
 
   /// The matched entry itself (prefix + group); nullptr when no match.
   const FibEntry* LookupEntry(Ipv4Address dst) const;
+
+  /// Longest prefix length present in the table (0 for an empty table or
+  /// one holding only a default route).  Two destinations sharing their
+  /// canonical /max_length() prefix provably resolve to the same entry,
+  /// which is the exactness guarantee RouteMemo builds on.
+  int max_length() const;
 
   std::size_t size() const { return entries_.size(); }
   const std::vector<FibEntry>& entries() const { return entries_; }
@@ -145,6 +152,40 @@ struct Subnet {
 /// a sorted prefix table (subnenet prefixes never overlap).
 class Topology {
  public:
+  Topology() = default;
+  // Copies and moves bump the mutation epoch of the destination so that a
+  // RouteMemo attached to a Topology whose storage was replaced in place
+  // (e.g. `internet = std::move(other)`) can never read stale entries.
+  Topology(const Topology& other)
+      : routers_(other.routers_),
+        subnets_(other.subnets_),
+        subnet_index_(other.subnet_index_),
+        sealed_(other.sealed_),
+        mutation_epoch_(other.mutation_epoch_ + 1) {}
+  Topology(Topology&& other) noexcept { *this = std::move(other); }
+  Topology& operator=(const Topology& other) {
+    if (this != &other) {
+      routers_ = other.routers_;
+      subnets_ = other.subnets_;
+      subnet_index_ = other.subnet_index_;
+      sealed_ = other.sealed_;
+      mutation_epoch_ =
+          std::max(mutation_epoch_, other.mutation_epoch_) + 1;
+    }
+    return *this;
+  }
+  Topology& operator=(Topology&& other) noexcept {
+    if (this != &other) {
+      routers_ = std::move(other.routers_);
+      subnets_ = std::move(other.subnets_);
+      subnet_index_ = std::move(other.subnet_index_);
+      sealed_ = other.sealed_;
+      mutation_epoch_ =
+          std::max(mutation_epoch_, other.mutation_epoch_) + 1;
+    }
+    return *this;
+  }
+
   RouterId AddRouter(Router router);
   SubnetId AddSubnet(Subnet subnet);
 
@@ -152,12 +193,22 @@ class Topology {
   /// Sorts the subnet index; verifies prefixes do not overlap.
   void Seal();
 
-  Router& router(RouterId id) { return routers_[id]; }
+  /// The non-const accessor conservatively counts as a mutation: any code
+  /// path that can reach a FIB must bump the epoch before the change so
+  /// route memos re-resolve.  Holding the returned reference across
+  /// measurement and mutating later is unsupported (re-fetch instead).
+  Router& router(RouterId id) {
+    ++mutation_epoch_;
+    return routers_[id];
+  }
   const Router& router(RouterId id) const { return routers_[id]; }
   std::size_t router_count() const { return routers_.size(); }
 
   const Subnet& subnet(SubnetId id) const { return subnets_[id]; }
-  Subnet& subnet(SubnetId id) { return subnets_[id]; }
+  Subnet& subnet(SubnetId id) {
+    ++mutation_epoch_;
+    return subnets_[id];
+  }
   std::size_t subnet_count() const { return subnets_.size(); }
 
   /// The subnet containing `address`, or kNoSubnet.
@@ -165,12 +216,17 @@ class Topology {
 
   bool sealed() const { return sealed_; }
 
+  /// Monotonic counter of potential mutations; RouteMemo compares it to
+  /// decide whether cached FIB resolutions are still valid.
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
   std::vector<Router> routers_;
   std::vector<Subnet> subnets_;
   /// Subnet ids sorted by prefix base, for binary-search lookup.
   std::vector<SubnetId> subnet_index_;
   bool sealed_ = false;
+  std::uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace hobbit::netsim

@@ -13,13 +13,14 @@ struct SingleProbe {
 
 SingleProbe SendOne(const netsim::Simulator& simulator,
                     netsim::Ipv4Address destination, int ttl,
-                    std::uint16_t flow, std::uint64_t& serial) {
+                    std::uint16_t flow, std::uint64_t& serial,
+                    netsim::RouteMemo* memo) {
   netsim::ProbeSpec probe;
   probe.destination = destination;
   probe.ttl = ttl;
   probe.flow_id = flow;
   probe.serial = serial++;
-  netsim::ProbeReply reply = simulator.Send(probe);
+  netsim::ProbeReply reply = simulator.Send(probe, memo);
   return {reply.kind, reply.responder, reply.reply_ttl};
 }
 
@@ -30,7 +31,7 @@ LastHopResult LastHopProber::Probe(netsim::Ipv4Address destination) {
   const std::uint64_t serial_before = serial_;
 
   // Step 1-2: echo, infer hop distance of the last router.
-  SingleProbe echo = SendOne(*simulator_, destination, 64, 0, serial_);
+  SingleProbe echo = SendOne(*simulator_, destination, 64, 0, serial_, memo_);
   if (echo.kind != netsim::ReplyKind::kEchoReply) {
     result.status = LastHopStatus::kHostUnresponsive;
     result.probes_used = static_cast<int>(serial_ - serial_before);
@@ -45,7 +46,8 @@ LastHopResult LastHopProber::Probe(netsim::Ipv4Address destination) {
   int host_hop = 0;
   constexpr int kMaxWalk = 48;
   while (host_hop == 0) {
-    SingleProbe at = SendOne(*simulator_, destination, first_ttl, 1, serial_);
+    SingleProbe at =
+        SendOne(*simulator_, destination, first_ttl, 1, serial_, memo_);
     if (at.kind == netsim::ReplyKind::kEchoReply && first_ttl > 1) {
       first_ttl /= 2;  // overestimate: halve and retry (paper §3.4)
       continue;
@@ -56,7 +58,8 @@ LastHopResult LastHopProber::Probe(netsim::Ipv4Address destination) {
     }
     // Inside the path (TTL exceeded, or a silent router): walk forward.
     for (int ttl = first_ttl + 1; ttl <= first_ttl + kMaxWalk; ++ttl) {
-      SingleProbe step = SendOne(*simulator_, destination, ttl, 1, serial_);
+      SingleProbe step =
+          SendOne(*simulator_, destination, ttl, 1, serial_, memo_);
       if (step.kind == netsim::ReplyKind::kEchoReply) {
         host_hop = ttl;
         break;
@@ -80,8 +83,9 @@ LastHopResult LastHopProber::Probe(netsim::Ipv4Address destination) {
     result.probes_used = static_cast<int>(serial_ - serial_before);
     return result;
   }
-  HopInterfaces last = EnumerateHopInterfaces(*simulator_, destination,
-                                              host_hop - 1, serial_);
+  HopInterfaces last = EnumerateHopInterfaces(
+      *simulator_, destination, host_hop - 1, serial_,
+      /*max_interfaces_hint=*/16, memo_);
   result.probes_used = static_cast<int>(serial_ - serial_before);
   if (last.interfaces.empty()) {
     result.status = LastHopStatus::kLastHopUnresponsive;

@@ -13,12 +13,17 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "common/small_vector.h"
 #include "netsim/ipv4.h"
 #include "netsim/simulator.h"
 
 namespace hobbit::probing {
+
+/// A destination's last-hop interface set.  Almost always size 1 (a handful
+/// under per-flow diversity at the final hop), so the storage is inline —
+/// no heap traffic on the measurement hot path.
+using LastHopSet = common::SmallVector<netsim::Ipv4Address, 4>;
 
 enum class LastHopStatus : std::uint8_t {
   kOk,                    ///< at least one last-hop interface identified
@@ -29,7 +34,7 @@ enum class LastHopStatus : std::uint8_t {
 struct LastHopResult {
   LastHopStatus status = LastHopStatus::kHostUnresponsive;
   /// Sorted unique last-hop interfaces (non-empty iff status == kOk).
-  std::vector<netsim::Ipv4Address> last_hops;
+  LastHopSet last_hops;
   /// Hop distance of the destination host (1-based; 0 when unknown).
   int host_hop = 0;
   int probes_used = 0;
@@ -45,11 +50,14 @@ constexpr int InferDefaultTtl(int reply_ttl) {
 }
 
 /// Identifies last-hop routers.  Stateful only in the probe serial counter
-/// (so a campaign shares one packet sequence).
+/// (so a campaign shares one packet sequence).  An optional RouteMemo
+/// (owned by the caller, single-threaded use) memoizes FIB resolutions
+/// across the probes; results are identical with and without one.
 class LastHopProber {
  public:
-  explicit LastHopProber(const netsim::Simulator* simulator)
-      : simulator_(simulator) {}
+  explicit LastHopProber(const netsim::Simulator* simulator,
+                         netsim::RouteMemo* memo = nullptr)
+      : simulator_(simulator), memo_(memo) {}
 
   LastHopResult Probe(netsim::Ipv4Address destination);
 
@@ -57,6 +65,7 @@ class LastHopProber {
 
  private:
   const netsim::Simulator* simulator_;
+  netsim::RouteMemo* memo_;
   std::uint64_t serial_ = 1;
 };
 

@@ -113,7 +113,8 @@ std::vector<Route> EnumerateRoutes(const netsim::Simulator& simulator,
 HopInterfaces EnumerateHopInterfaces(const netsim::Simulator& simulator,
                                      netsim::Ipv4Address destination, int ttl,
                                      std::uint64_t& serial,
-                                     int max_interfaces_hint) {
+                                     int max_interfaces_hint,
+                                     netsim::RouteMemo* memo) {
   HopInterfaces result;
   int since_new = 0;
   std::uint16_t flow = 1;
@@ -124,7 +125,7 @@ HopInterfaces EnumerateHopInterfaces(const netsim::Simulator& simulator,
     probe.flow_id = flow++;
     probe.serial = serial++;
     ++result.probes_sent;
-    netsim::ProbeReply reply = simulator.Send(probe);
+    netsim::ProbeReply reply = simulator.Send(probe, memo);
     bool is_new = false;
     if (reply.kind == netsim::ReplyKind::kTtlExceeded) {
       auto pos = std::lower_bound(result.interfaces.begin(),

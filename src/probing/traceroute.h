@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "netsim/ipv4.h"
 #include "netsim/simulator.h"
 
@@ -88,15 +89,20 @@ std::vector<Route> EnumerateRoutes(const netsim::Simulator& simulator,
 
 /// Hop-level MDA at one TTL: enumerates the interfaces answering at
 /// distance `ttl` under varied flow identifiers, with the same stopping
-/// rule.  `wildcards` counts probes that got no answer.
+/// rule.  `wildcards` counts probes that got no answer.  `memo`, when
+/// non-null, memoizes FIB resolutions (identical replies either way).
 struct HopInterfaces {
-  std::vector<netsim::Ipv4Address> interfaces;  // sorted, unique
+  /// Sorted, unique.  Inline small-vector storage: a hop almost always
+  /// has 1-2 interfaces, and this struct is built once per probed
+  /// destination on the measurement hot path.
+  common::SmallVector<netsim::Ipv4Address, 4> interfaces;
   int wildcard_probes = 0;
   int probes_sent = 0;
 };
 HopInterfaces EnumerateHopInterfaces(const netsim::Simulator& simulator,
                                      netsim::Ipv4Address destination, int ttl,
                                      std::uint64_t& serial,
-                                     int max_interfaces_hint = 16);
+                                     int max_interfaces_hint = 16,
+                                     netsim::RouteMemo* memo = nullptr);
 
 }  // namespace hobbit::probing

@@ -120,6 +120,39 @@ TEST(DeterminismProperty, RunPipelineByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(DeterminismProperty, FastPathPipelineMatchesReferenceAcrossThreads) {
+  // The measurement fast path (incremental grouping + route memo) must be
+  // an invisible optimization: the full campaign output is byte-identical
+  // to the reference slow path, at every thread count.
+  Internet internet = BuildInternet(TinyConfig(37));
+  core::PipelineConfig reference_config;
+  reference_config.seed = 37;
+  reference_config.threads = 1;
+  reference_config.calibration_blocks = 40;
+  reference_config.samples_per_block = 32;
+  reference_config.prober.incremental_grouping = false;
+  reference_config.prober.route_memo = false;
+  core::PipelineResult reference =
+      core::RunPipeline(internet, reference_config);
+  std::ostringstream reference_serialized;
+  core::WriteResults(reference_serialized, reference.results);
+  ASSERT_FALSE(reference_serialized.str().empty());
+
+  for (int threads : ThreadCounts()) {
+    core::PipelineConfig config = reference_config;
+    config.threads = threads;
+    config.prober.incremental_grouping = true;
+    config.prober.route_memo = true;
+    core::PipelineResult fast = core::RunPipeline(internet, config);
+    std::ostringstream serialized;
+    core::WriteResults(serialized, fast.results);
+    EXPECT_EQ(serialized.str(), reference_serialized.str())
+        << "threads=" << threads;
+    EXPECT_EQ(fast.stats.probes_sent, reference.stats.probes_sent)
+        << "threads=" << threads;
+  }
+}
+
 TEST(DeterminismProperty, RunMclByteIdenticalAcrossThreadCounts) {
   // Random graphs; clusters (and iteration counts) must not depend on
   // the thread count in any way.

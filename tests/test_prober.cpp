@@ -154,6 +154,67 @@ TEST(BlockProber, DeterministicForSameSeed) {
   EXPECT_EQ(a.observations.size(), b.observations.size());
 }
 
+TEST(BlockProber, ProbesUsedMatchesSimulatorLoadOnEveryExitPath) {
+  MiniNet net = BuildMiniNet();
+  // A saturated confidence table so the confidence-stop path is reachable.
+  ConfidenceTable table;
+  for (int i = 0; i < 1000; ++i) {
+    for (int n = 6; n <= 256; ++n) table.Record(2, n, i < 960);
+  }
+  ProberOptions with_table;
+  with_table.min_cell_trials = 100;
+
+  struct Case {
+    const char* name;
+    const char* prefix;
+    const ConfidenceTable* table;
+    ProberOptions options;
+    Classification expected;
+  };
+  const Case cases[] = {
+      // Early return inside the loop: six-destination rule.
+      {"same-last-hop", "20.0.1.0/24", nullptr, {},
+       Classification::kSameLastHop},
+      // Early return inside the loop: non-hierarchical grouping.
+      {"non-hierarchical", "20.0.2.0/24", nullptr, {},
+       Classification::kNonHierarchical},
+      // Loop exhausted with zero usable destinations.
+      {"unresponsive", "20.0.3.0/24", nullptr, {},
+       Classification::kUnresponsiveLastHop},
+      // Confidence-rule break out of the loop.
+      {"confidence-stop", "20.0.4.0/24", &table, with_table,
+       Classification::kDifferentButHierarchical},
+      // Loop exhausted with a hierarchical grouping, no table.
+      {"exhausted", "20.0.5.0/24", nullptr, {},
+       Classification::kDifferentButHierarchical},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    BlockProber prober(net.simulator.get(), c.table, c.options);
+    const std::uint64_t before = net.simulator->probes_sent();
+    BlockResult result = prober.ProbeBlock(FullBlock(c.prefix),
+                                           netsim::Rng(1));
+    const std::uint64_t delta = net.simulator->probes_sent() - before;
+    EXPECT_EQ(result.classification, c.expected);
+    // probes_used must equal the probes the simulator actually answered
+    // for this block — recorded exactly once, on every exit path.
+    EXPECT_EQ(static_cast<std::uint64_t>(result.probes_used), delta);
+    EXPECT_EQ(prober.probes_sent(), delta);
+  }
+}
+
+TEST(BlockProber, ProbesSentAccumulatesAcrossBlocks) {
+  MiniNet net = BuildMiniNet();
+  BlockProber prober(net.simulator.get(), nullptr, {});
+  BlockResult a = prober.ProbeBlock(FullBlock("20.0.1.0/24"),
+                                    netsim::Rng(1));
+  BlockResult b = prober.ProbeBlock(FullBlock("20.0.2.0/24"),
+                                    netsim::Rng(1));
+  EXPECT_EQ(prober.probes_sent(),
+            static_cast<std::uint64_t>(a.probes_used) +
+                static_cast<std::uint64_t>(b.probes_used));
+}
+
 TEST(BlockProber, ProbeBlockFullyUsesEveryUsableAddress) {
   MiniNet net = BuildMiniNet();
   BlockProber prober(net.simulator.get(), nullptr, {});
