@@ -7,10 +7,12 @@
 // Correctness is part of the benchmark: for every (scale, thread count)
 // the fast and reference configurations must produce byte-identical
 // classification output (resultio v1 serialization), and a mismatch fails
-// the run loudly.  The single-thread fast-vs-reference ratio must clear
-// `--require-speedup` (default below) — this is the regression gate the
-// `perf` ctest label runs in `--quick` mode (tiny scale, threads {1,2},
-// well under 5 s).
+// the run loudly.  Two speedup gates guard regressions: the
+// single-thread fast-vs-reference ratio must clear `--require-speedup`
+// (default below), and on a machine with >= 4 cores the fast path at 4
+// threads must beat 1 thread (exit codes: 1 mismatch, 2 fast-path gate,
+// 3 thread-scaling gate).  The `perf` ctest label runs `--quick` (tiny
+// scale, threads {1,2,4}, well under 5 s).
 //
 // Results are also written to BENCH_pipeline.json via the JSON reporter
 // (schema: {bench, config, metrics{...}, commit}).
@@ -21,6 +23,7 @@
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.h"
@@ -98,7 +101,16 @@ int main(int argc, char** argv) {
       quick ? std::vector<double>{0.02}
             : std::vector<double>{0.05, bench::WorldScale()};
   const std::vector<int> threads =
-      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+      quick ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+
+  // Thread-scaling gate on the fast path itself: 4 threads must beat 1
+  // thread by this factor at the largest scale.  Only meaningful when
+  // the machine actually has >= 4 cores; below that, the gate degrades
+  // to an oversubscription-collapse guard (time-slicing one core across
+  // four workers cannot win, it must merely not fall off a cliff).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double require_thread_scaling =
+      hw >= 4 ? (quick ? 1.2 : 1.5) : 0.4;
 
   bench::PrintHeader("pipeline-scaling",
                      "engineering: measurement fast path + thread scaling");
@@ -107,9 +119,14 @@ int main(int argc, char** argv) {
   report.Config("mode", quick ? "quick" : "full");
   report.Config("require_speedup", require_speedup);
 
+  report.Config("require_thread_scaling", require_thread_scaling);
+
   bool all_identical = true;
   // Single-thread measurement-stage speedup at the largest scale.
   double gate_speedup = 0.0;
+  // fast_1t / fast_4t wall time at the largest scale.
+  double fast_1t_seconds = 0.0;
+  double thread_scaling = 0.0;
   for (double scale : scales) {
     netsim::Internet internet = BuildAt(scale, seed);
     std::printf("\nscale %.3g\n", scale);
@@ -155,7 +172,13 @@ int main(int argc, char** argv) {
       report.Metric(tag + "_fast_" + std::to_string(t) +
                         "t_measure_speedup",
                     measure_speedup);
-      if (t == 1) gate_speedup = measure_speedup;
+      if (t == 1) {
+        gate_speedup = measure_speedup;
+        fast_1t_seconds = fast.seconds;
+      }
+      if (t == 4 && fast_1t_seconds > 0.0) {
+        thread_scaling = fast_1t_seconds / fast.seconds;
+      }
     }
 
     // Cross-check: the reference path must also be thread-count invariant
@@ -169,6 +192,7 @@ int main(int argc, char** argv) {
   }
 
   report.Metric("single_thread_measure_speedup", gate_speedup);
+  report.Metric("fast_4t_vs_1t", thread_scaling);
   report.Metric("identical", all_identical ? 1.0 : 0.0);
   report.Write();
 
@@ -177,7 +201,10 @@ int main(int argc, char** argv) {
   std::printf(
       "single-thread measurement-stage speedup %.2fx (required >= %.2fx)\n",
       gate_speedup, require_speedup);
+  std::printf("fast-path 4t vs 1t %.2fx (required >= %.2fx, threads_hw=%u)\n",
+              thread_scaling, require_thread_scaling, hw);
   if (!all_identical) return 1;
   if (gate_speedup < require_speedup) return 2;
+  if (thread_scaling < require_thread_scaling) return 3;
   return 0;
 }

@@ -146,6 +146,12 @@ void AppendObject(
 
 }  // namespace
 
+JsonReporter::JsonReporter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {
+  Config("threads_hw",
+         static_cast<double>(std::thread::hardware_concurrency()));
+}
+
 void JsonReporter::Config(const std::string& key, double value) {
   config_.emplace_back(key, JsonNumber(value));
 }

@@ -56,8 +56,10 @@ void PrintHeader(const std::string& experiment,
 /// HOBBIT_COMMIT when set, else `git rev-parse --short HEAD`.
 class JsonReporter {
  public:
-  explicit JsonReporter(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
+  /// Every report starts with a `threads_hw` config entry (the machine's
+  /// hardware concurrency) so scaling numbers can be judged against the
+  /// hardware they were measured on.
+  explicit JsonReporter(std::string bench_name);
 
   void Config(const std::string& key, double value);
   void Config(const std::string& key, const std::string& value);

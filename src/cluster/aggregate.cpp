@@ -72,16 +72,19 @@ Graph BuildSimilarityGraph(std::span<const AggregateBlock> aggregates,
       by_router[router.value()].push_back(v);
     }
   }
-  // Each vertex a emits its edges to higher-numbered neighbours; sharding
-  // over a and concatenating per-vertex edge lists in vertex order yields
-  // the same (a, b)-sorted edge list for every thread count.
-  std::vector<std::vector<Graph::Edge>> edges_by_vertex(aggregates.size());
-  common::ForEachShard(
-      pool, aggregates.size(),
-      [&](std::size_t shard, std::size_t shard_count) {
+  // Each vertex a emits its edges to higher-numbered neighbours.  Shards
+  // take *contiguous* vertex chunks and append into one per-shard edge
+  // buffer (not one vector per vertex); chunks ascend with the shard
+  // index, so concatenating the shard buffers in shard order yields the
+  // same (a, b)-sorted edge list for every thread count.
+  const std::size_t slots =
+      pool != nullptr ? static_cast<std::size_t>(pool->thread_count()) : 1;
+  common::PerShard<std::vector<Graph::Edge>> edges_by_shard(slots);
+  common::ForEachChunk(
+      pool, aggregates.size(), 1, [&](common::ChunkRange chunk) {
+        std::vector<Graph::Edge>& edges = *edges_by_shard[chunk.shard];
         std::vector<std::uint32_t> candidates;
-        for (std::size_t a = shard; a < aggregates.size();
-             a += shard_count) {
+        for (std::size_t a = chunk.begin; a < chunk.end; ++a) {
           candidates.clear();
           for (netsim::Ipv4Address router : aggregates[a].last_hops) {
             auto bucket = by_router.find(router.value());
@@ -93,8 +96,6 @@ Graph BuildSimilarityGraph(std::span<const AggregateBlock> aggregates,
           candidates.erase(
               std::unique(candidates.begin(), candidates.end()),
               candidates.end());
-          auto& edges = edges_by_vertex[a];
-          edges.reserve(candidates.size());
           for (std::uint32_t b : candidates) {
             double w = Similarity(aggregates[a].last_hops,
                                   aggregates[b].last_hops);
@@ -105,10 +106,10 @@ Graph BuildSimilarityGraph(std::span<const AggregateBlock> aggregates,
         }
       });
   std::size_t total = 0;
-  for (const auto& edges : edges_by_vertex) total += edges.size();
+  for (const auto& edges : edges_by_shard) total += edges->size();
   graph.edges.reserve(total);
-  for (const auto& edges : edges_by_vertex) {
-    graph.edges.insert(graph.edges.end(), edges.begin(), edges.end());
+  for (const auto& edges : edges_by_shard) {
+    graph.edges.insert(graph.edges.end(), edges->begin(), edges->end());
   }
   return graph;
 }
@@ -150,16 +151,12 @@ MclAggregationResult RunMclAggregation(
   MclAggregationResult result;
   // One pool shared by edge generation, the inflation sweep and every
   // per-component MCL run.
-  common::ThreadPool local_pool(params.mcl.pool != nullptr
-                                    ? 1
-                                    : params.mcl.threads);
-  common::ThreadPool* pool =
-      params.mcl.pool != nullptr ? params.mcl.pool : &local_pool;
-  Graph graph = BuildSimilarityGraph(aggregates, pool);
+  common::PoolRef pool(params.mcl.pool, params.mcl.threads);
+  Graph graph = BuildSimilarityGraph(aggregates, pool.get());
 
   // §6.4 parameter sweep on the whole (disconnected) graph.
   MclParams sweep_params = params.mcl;
-  sweep_params.pool = pool;
+  sweep_params.pool = pool.get();
   SweepOutcome sweep =
       SweepInflation(graph, params.inflation_candidates, sweep_params);
   result.chosen_inflation = sweep.best_inflation;
@@ -214,10 +211,7 @@ void ValidateClusters(const netsim::Internet& internet,
     return &*pos;
   };
 
-  common::ThreadPool local_pool(params.pool != nullptr ? 1
-                                                       : params.threads);
-  common::ThreadPool* pool =
-      params.pool != nullptr ? params.pool : &local_pool;
+  common::PoolRef pool(params.pool, params.threads);
 
   // Clusters partition the aggregates, so reprobe results never repeat
   // across clusters: a per-cluster cache loses nothing, and per-cluster

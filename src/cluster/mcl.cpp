@@ -76,17 +76,16 @@ MclResult RunMcl(const Graph& graph, const MclParams& params) {
   if (graph.vertex_count == 0) return result;
   // One pool for the whole run, reused across iterations (worker threads
   // persist); an externally shared pool takes precedence.
-  common::ThreadPool local_pool(params.pool != nullptr ? 1 : params.threads);
-  common::ThreadPool* pool =
-      params.pool != nullptr ? params.pool : &local_pool;
+  common::PoolRef pool(params.pool, params.threads);
   SparseMatrix m = BuildTransitionMatrix(graph, params);
   for (int iteration = 0; iteration < params.max_iterations; ++iteration) {
-    SparseMatrix expanded = m.Multiply(m, pool);
-    expanded.Inflate(params.inflation, pool);
-    expanded.Prune(params.prune_threshold, params.max_entries_per_column,
-                   pool);
-    double delta = expanded.MaxDifference(m);
-    m = std::move(expanded);
+    // Expansion, inflation, pruning, renormalization and the
+    // convergence delta, fused into a single pool dispatch —
+    // bit-identical to the Multiply/Inflate/Prune sequence it replaced
+    // (pinned by tests/test_sparse.cpp and test_mcl.cpp).
+    double delta = 0.0;
+    m = m.MclIterate(params.inflation, params.prune_threshold,
+                     params.max_entries_per_column, pool.get(), &delta);
     result.iterations = iteration + 1;
     if (delta < params.epsilon) break;
   }

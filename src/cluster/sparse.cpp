@@ -9,9 +9,43 @@
 namespace hobbit::cluster {
 namespace {
 
-bool IsParallel(common::ThreadPool* pool) {
-  return pool != nullptr && pool->thread_count() > 1;
+// Minimum columns per chunk: components smaller than this run inline
+// (an MCL run on a ten-vertex component should not pay any dispatch),
+// larger matrices split into one contiguous chunk per shard.
+constexpr std::size_t kColumnGrain = 64;
+
+// Pruning selection, shared verbatim by Prune and the fused iteration:
+// keep the `max_per_column` largest of `kept` (already in row order),
+// then restore row order.  The exact nth_element/sort call sequence is
+// part of the bit-identity contract between the fused and unfused
+// paths.
+void SelectTopThenSortByRow(
+    std::vector<std::pair<double, std::uint32_t>>& kept,
+    std::size_t max_per_column) {
+  if (kept.size() > max_per_column) {
+    std::nth_element(
+        kept.begin(),
+        kept.begin() + static_cast<std::ptrdiff_t>(max_per_column),
+        kept.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+    kept.resize(max_per_column);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
 }
+
+// Variable-length per-column output of one shard's contiguous chunk.
+// Chunks ascend with the shard index, so concatenating shard buffers in
+// shard order reassembles the matrix in column order — the same bytes
+// for every thread count.
+struct ShardColumns {
+  std::vector<std::uint32_t> rows;
+  std::vector<double> values;
+  std::vector<std::uint32_t> counts;  // entries per column of the chunk
+  std::size_t first_column = 0;
+  double max_difference = 0.0;
+  bool used = false;
+};
 
 }  // namespace
 
@@ -45,14 +79,17 @@ SparseMatrix SparseMatrix::FromTriplets(std::uint32_t n,
 }
 
 void SparseMatrix::NormalizeColumns(common::ThreadPool* pool) {
-  common::ForEach(pool, n_, [this](std::size_t c) {
-    double sum = 0.0;
-    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-      sum += values_[i];
-    }
-    if (sum <= 0.0) return;
-    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-      values_[i] /= sum;
+  common::ForEachChunk(pool, n_, kColumnGrain, [this](
+                                                   common::ChunkRange chunk) {
+    for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
+      double sum = 0.0;
+      for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+        sum += values_[i];
+      }
+      if (sum <= 0.0) continue;
+      for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+        values_[i] /= sum;
+      }
     }
   });
 }
@@ -61,22 +98,25 @@ void SparseMatrix::Inflate(double power, common::ThreadPool* pool) {
   // Fused per-column pow + renormalize: each column's floating-point
   // operations run in the same order as the serial pow-then-normalize,
   // so results cannot depend on the thread count.
-  common::ForEach(pool, n_, [this, power](std::size_t c) {
-    double sum = 0.0;
-    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-      values_[i] = std::pow(values_[i], power);
-      sum += values_[i];
-    }
-    if (sum <= 0.0) return;
-    for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-      values_[i] /= sum;
-    }
-  });
+  common::ForEachChunk(
+      pool, n_, kColumnGrain, [this, power](common::ChunkRange chunk) {
+        for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
+          double sum = 0.0;
+          for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+            values_[i] = std::pow(values_[i], power);
+            sum += values_[i];
+          }
+          if (sum <= 0.0) continue;
+          for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
+            values_[i] /= sum;
+          }
+        }
+      });
 }
 
 void SparseMatrix::Prune(double threshold, std::size_t max_per_column,
                          common::ThreadPool* pool) {
-  if (!IsParallel(pool)) {
+  if (!common::IsParallel(pool)) {
     std::vector<std::size_t> new_start(n_ + 1, 0);
     std::vector<std::uint32_t> new_rows;
     std::vector<double> new_values;
@@ -88,19 +128,7 @@ void SparseMatrix::Prune(double threshold, std::size_t max_per_column,
       for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
         if (values_[i] >= threshold) kept.emplace_back(values_[i], rows_[i]);
       }
-      if (kept.size() > max_per_column) {
-        std::nth_element(kept.begin(),
-                         kept.begin() + static_cast<std::ptrdiff_t>(
-                                            max_per_column),
-                         kept.end(),
-                         [](const auto& a, const auto& b) {
-                           return a.first > b.first;
-                         });
-        kept.resize(max_per_column);
-      }
-      std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
-        return a.second < b.second;
-      });
+      SelectTopThenSortByRow(kept, max_per_column);
       for (const auto& [value, row] : kept) {
         new_rows.push_back(row);
         new_values.push_back(value);
@@ -114,46 +142,49 @@ void SparseMatrix::Prune(double threshold, std::size_t max_per_column,
     return;
   }
 
-  // Parallel: prune each column into its own buffer (per-shard scratch for
-  // the selection), then stitch serially in column order — the per-column
-  // contents are identical to the serial path above.
-  std::vector<std::vector<std::pair<std::uint32_t, double>>> kept_by_col(n_);
-  pool->ForEachShard(n_, [&](std::size_t shard, std::size_t shard_count) {
+  // Parallel: each shard prunes its contiguous chunk of columns into
+  // one per-shard buffer (per-column contents identical to the serial
+  // path above), stitched back in shard = column order.
+  common::PerShard<ShardColumns> shards(
+      static_cast<std::size_t>(pool->thread_count()));
+  pool->ForEachChunk(n_, kColumnGrain, [&](common::ChunkRange chunk) {
+    ShardColumns& out = *shards[chunk.shard];
+    out.used = true;
+    out.first_column = chunk.begin;
+    out.counts.reserve(chunk.size());
     std::vector<std::pair<double, std::uint32_t>> kept;
-    for (std::size_t c = shard; c < n_; c += shard_count) {
+    for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
       kept.clear();
       for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
         if (values_[i] >= threshold) kept.emplace_back(values_[i], rows_[i]);
       }
-      if (kept.size() > max_per_column) {
-        std::nth_element(kept.begin(),
-                         kept.begin() + static_cast<std::ptrdiff_t>(
-                                            max_per_column),
-                         kept.end(),
-                         [](const auto& a, const auto& b) {
-                           return a.first > b.first;
-                         });
-        kept.resize(max_per_column);
+      SelectTopThenSortByRow(kept, max_per_column);
+      for (const auto& [value, row] : kept) {
+        out.rows.push_back(row);
+        out.values.push_back(value);
       }
-      std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
-        return a.second < b.second;
-      });
-      auto& column = kept_by_col[c];
-      column.reserve(kept.size());
-      for (const auto& [value, row] : kept) column.emplace_back(row, value);
+      out.counts.push_back(static_cast<std::uint32_t>(kept.size()));
     }
   });
   std::vector<std::size_t> new_start(n_ + 1, 0);
   std::vector<std::uint32_t> new_rows;
   std::vector<double> new_values;
-  new_rows.reserve(rows_.size());
-  new_values.reserve(values_.size());
-  for (std::uint32_t c = 0; c < n_; ++c) {
-    for (const auto& [row, value] : kept_by_col[c]) {
-      new_rows.push_back(row);
-      new_values.push_back(value);
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    if (shard->used) total += shard->rows.size();
+  }
+  new_rows.reserve(total);
+  new_values.reserve(total);
+  for (const auto& shard : shards) {
+    const ShardColumns& out = *shard;
+    if (!out.used) continue;
+    for (std::size_t k = 0; k < out.counts.size(); ++k) {
+      new_start[out.first_column + k + 1] =
+          new_start[out.first_column + k] + out.counts[k];
     }
-    new_start[c + 1] = new_rows.size();
+    new_rows.insert(new_rows.end(), out.rows.begin(), out.rows.end());
+    new_values.insert(new_values.end(), out.values.begin(),
+                      out.values.end());
   }
   col_start_ = std::move(new_start);
   rows_ = std::move(new_rows);
@@ -168,7 +199,7 @@ SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other,
   // column is computed by exactly one shard with the same accumulation
   // order as the serial loop, so the product is thread-count-invariant.
   SparseMatrix result(n_);
-  if (!IsParallel(pool)) {
+  if (!common::IsParallel(pool)) {
     std::vector<double> accumulator(n_, 0.0);
     std::vector<std::uint32_t> touched;
     for (std::uint32_t c = 0; c < n_; ++c) {
@@ -195,12 +226,16 @@ SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other,
     return result;
   }
 
-  std::vector<std::vector<std::uint32_t>> rows_by_col(n_);
-  std::vector<std::vector<double>> values_by_col(n_);
-  pool->ForEachShard(n_, [&](std::size_t shard, std::size_t shard_count) {
+  common::PerShard<ShardColumns> shards(
+      static_cast<std::size_t>(pool->thread_count()));
+  pool->ForEachChunk(n_, kColumnGrain, [&](common::ChunkRange chunk) {
+    ShardColumns& out = *shards[chunk.shard];
+    out.used = true;
+    out.first_column = chunk.begin;
+    out.counts.reserve(chunk.size());
     std::vector<double> accumulator(n_, 0.0);
     std::vector<std::uint32_t> touched;
-    for (std::size_t c = shard; c < n_; c += shard_count) {
+    for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
       touched.clear();
       ColumnView oc = other.Column(static_cast<std::uint32_t>(c));
       for (std::size_t i = 0; i < oc.count; ++i) {
@@ -214,28 +249,151 @@ SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other,
         }
       }
       std::sort(touched.begin(), touched.end());
-      auto& out_rows = rows_by_col[c];
-      auto& out_values = values_by_col[c];
-      out_rows.reserve(touched.size());
-      out_values.reserve(touched.size());
       for (std::uint32_t r : touched) {
-        out_rows.push_back(r);
-        out_values.push_back(accumulator[r]);
+        out.rows.push_back(r);
+        out.values.push_back(accumulator[r]);
         accumulator[r] = 0.0;
       }
+      out.counts.push_back(static_cast<std::uint32_t>(touched.size()));
     }
   });
   std::size_t total = 0;
-  for (const auto& column : rows_by_col) total += column.size();
+  for (const auto& shard : shards) {
+    if (shard->used) total += shard->rows.size();
+  }
   result.rows_.reserve(total);
   result.values_.reserve(total);
-  for (std::uint32_t c = 0; c < n_; ++c) {
-    result.rows_.insert(result.rows_.end(), rows_by_col[c].begin(),
-                        rows_by_col[c].end());
-    result.values_.insert(result.values_.end(), values_by_col[c].begin(),
-                          values_by_col[c].end());
-    result.col_start_[c + 1] = result.rows_.size();
+  for (const auto& shard : shards) {
+    const ShardColumns& out = *shard;
+    if (!out.used) continue;
+    for (std::size_t k = 0; k < out.counts.size(); ++k) {
+      result.col_start_[out.first_column + k + 1] =
+          result.col_start_[out.first_column + k] + out.counts[k];
+    }
+    result.rows_.insert(result.rows_.end(), out.rows.begin(),
+                        out.rows.end());
+    result.values_.insert(result.values_.end(), out.values.begin(),
+                          out.values.end());
   }
+  return result;
+}
+
+SparseMatrix SparseMatrix::MclIterate(double inflation,
+                                      double prune_threshold,
+                                      std::size_t max_per_column,
+                                      common::ThreadPool* pool,
+                                      double* max_difference) const {
+  // One dispatch per iteration: every column flows through expansion
+  // (this × this), inflation, pruning, renormalization and the
+  // convergence delta without leaving its shard.  Per column the
+  // floating-point operations and their order are exactly those of the
+  // Multiply → Inflate → Prune call sequence (see the pinning test in
+  // tests/test_sparse.cpp), so the fusion — like the thread count —
+  // cannot change a single bit of the result.
+  SparseMatrix result(n_);
+  const std::size_t slots =
+      pool != nullptr ? static_cast<std::size_t>(pool->thread_count()) : 1;
+  common::PerShard<ShardColumns> shards(slots);
+  common::ForEachChunk(pool, n_, kColumnGrain, [&](common::ChunkRange
+                                                       chunk) {
+    ShardColumns& out = *shards[chunk.shard];
+    out.used = true;
+    out.first_column = chunk.begin;
+    out.counts.reserve(chunk.size());
+    std::vector<double> accumulator(n_, 0.0);
+    std::vector<std::uint32_t> touched;
+    std::vector<std::pair<double, std::uint32_t>> kept;
+    double local_max = 0.0;
+    for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
+      // Expansion: column c of this × this, accumulated in the
+      // reference order.
+      touched.clear();
+      ColumnView oc = Column(static_cast<std::uint32_t>(c));
+      for (std::size_t i = 0; i < oc.count; ++i) {
+        const std::uint32_t k = oc.rows[i];
+        const double w = oc.values[i];
+        ColumnView tc = Column(k);
+        for (std::size_t j = 0; j < tc.count; ++j) {
+          const std::uint32_t r = tc.rows[j];
+          if (accumulator[r] == 0.0) touched.push_back(r);
+          accumulator[r] += w * tc.values[j];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      // Inflation: pow every entry in row order, then normalize
+      // (columns summing to zero stay unnormalized, as in Inflate).
+      double sum = 0.0;
+      for (std::uint32_t r : touched) {
+        accumulator[r] = std::pow(accumulator[r], inflation);
+        sum += accumulator[r];
+      }
+      if (sum > 0.0) {
+        for (std::uint32_t r : touched) accumulator[r] /= sum;
+      }
+      // Pruning + renormalization over the kept entries.
+      kept.clear();
+      for (std::uint32_t r : touched) {
+        if (accumulator[r] >= prune_threshold) {
+          kept.emplace_back(accumulator[r], r);
+        }
+      }
+      SelectTopThenSortByRow(kept, max_per_column);
+      double kept_sum = 0.0;
+      for (const auto& [value, row] : kept) kept_sum += value;
+      if (kept_sum > 0.0) {
+        for (auto& [value, row] : kept) value /= kept_sum;
+      }
+      // Convergence delta against the pre-iteration column, merged on
+      // the union of supports exactly as MaxDifference does.
+      ColumnView before = Column(static_cast<std::uint32_t>(c));
+      std::size_t i = 0, j = 0;
+      while (i < kept.size() || j < before.count) {
+        if (j >= before.count ||
+            (i < kept.size() && kept[i].second < before.rows[j])) {
+          local_max = std::max(local_max, std::abs(kept[i].first));
+          ++i;
+        } else if (i >= kept.size() || before.rows[j] < kept[i].second) {
+          local_max = std::max(local_max, std::abs(before.values[j]));
+          ++j;
+        } else {
+          local_max =
+              std::max(local_max, std::abs(kept[i].first - before.values[j]));
+          ++i;
+          ++j;
+        }
+      }
+      // Emit and reset the accumulator for the next column.
+      for (const auto& [value, row] : kept) {
+        out.rows.push_back(row);
+        out.values.push_back(value);
+      }
+      out.counts.push_back(static_cast<std::uint32_t>(kept.size()));
+      for (std::uint32_t r : touched) accumulator[r] = 0.0;
+    }
+    out.max_difference = local_max;
+  });
+
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    if (shard->used) total += shard->rows.size();
+  }
+  result.rows_.reserve(total);
+  result.values_.reserve(total);
+  double delta = 0.0;
+  for (const auto& shard : shards) {
+    const ShardColumns& out = *shard;
+    if (!out.used) continue;
+    for (std::size_t k = 0; k < out.counts.size(); ++k) {
+      result.col_start_[out.first_column + k + 1] =
+          result.col_start_[out.first_column + k] + out.counts[k];
+    }
+    result.rows_.insert(result.rows_.end(), out.rows.begin(),
+                        out.rows.end());
+    result.values_.insert(result.values_.end(), out.values.begin(),
+                          out.values.end());
+    delta = std::max(delta, out.max_difference);
+  }
+  if (max_difference != nullptr) *max_difference = delta;
   return result;
 }
 

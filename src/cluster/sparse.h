@@ -67,6 +67,19 @@ class SparseMatrix {
   SparseMatrix Multiply(const SparseMatrix& other,
                         common::ThreadPool* pool = nullptr) const;
 
+  /// One fused MCL iteration: expansion (this × this), inflation,
+  /// pruning and column renormalization in a single parallel dispatch —
+  /// bit-identical to the Multiply/Inflate/Prune call sequence (each
+  /// output column's floating-point operations run in exactly the
+  /// reference order), but with one pool wake-up per iteration instead
+  /// of one per kernel and per-shard contiguous output buffers instead
+  /// of per-column allocations.  When `max_difference` is non-null it
+  /// receives MaxDifference(result, *this), computed on the fly.
+  SparseMatrix MclIterate(double inflation, double prune_threshold,
+                          std::size_t max_per_column,
+                          common::ThreadPool* pool = nullptr,
+                          double* max_difference = nullptr) const;
+
   /// Sum over columns of max(column) - used in MCL's chaos convergence
   /// measure; a converged (idempotent) column has chaos ~ 0.
   double Chaos() const;

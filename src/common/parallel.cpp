@@ -5,15 +5,33 @@
 namespace hobbit::common {
 namespace {
 
-// Set while a thread is executing a shard body; a nested ForEach from
+// Set while a thread is executing a shard body; a nested dispatch from
 // inside a body runs serially inline instead of re-entering the pool
 // (which would deadlock waiting for the worker it is running on).
 thread_local bool tls_inside_pool = false;
+
+// How many epoch polls a waiter performs before parking on the condvar.
+// MCL-style callers issue dozens of sub-millisecond dispatches back to
+// back; ~10k pause-loop iterations (a few microseconds) bridge the gap
+// between successive dispatches without measurable burn.
+constexpr int kSpinIterations = 1 << 13;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
 
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   const int clamped = std::max(threads, 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_allowed_ = hw != 0 && static_cast<unsigned>(clamped) <= hw;
   errors_.resize(static_cast<std::size_t>(clamped));
   workers_.reserve(static_cast<std::size_t>(clamped - 1));
   for (int w = 1; w < clamped; ++w) {
@@ -23,77 +41,75 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_seq_cst);
   {
+    // Taking the lock orders the store before any in-flight parker's
+    // predicate check; spinners observe the atomic directly.
     std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::InsidePoolBody() { return tls_inside_pool; }
+
 void ThreadPool::WorkerLoop(std::size_t worker_index) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
-    std::size_t shards = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || epoch_ != seen_epoch; });
-      if (stop_) return;
-      seen_epoch = epoch_;
-      job = job_;
-      shards = job_shards_;
+    // Wait for a new epoch: bounded spin, then park.
+    std::uint64_t epoch;
+    int spins_left = spin_allowed_ ? kSpinIterations : 0;
+    for (;;) {
+      epoch = epoch_.load(std::memory_order_seq_cst);
+      if (epoch != seen_epoch) break;
+      if (stop_.load(std::memory_order_seq_cst)) return;
+      if (spins_left > 0) {
+        --spins_left;
+        CpuRelax();
+        continue;
+      }
+      parked_workers_.fetch_add(1, std::memory_order_seq_cst);
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stop_.load(std::memory_order_seq_cst) ||
+                 epoch_.load(std::memory_order_seq_cst) != seen_epoch;
+        });
+      }
+      parked_workers_.fetch_sub(1, std::memory_order_seq_cst);
+      spins_left = spin_allowed_ ? kSpinIterations : 0;
     }
-    std::exception_ptr error;
+    seen_epoch = epoch;
+
+    // The epoch load (seq_cst) acquires the job fields published before
+    // the dispatcher's epoch bump.
+    auto* fn = job_fn_;
+    void* context = job_context_;
+    const std::size_t shards = job_shards_;
     if (worker_index < shards) {
+      std::exception_ptr error;
       tls_inside_pool = true;
       try {
-        (*job)(worker_index, shards);
+        fn(context, worker_index, shards);
       } catch (...) {
         error = std::current_exception();
       }
       tls_inside_pool = false;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
       if (error) errors_[worker_index] = error;
-      if (--pending_ == 0) done_cv_.notify_all();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      // Last worker done.  Dekker pairing with the caller: our
+      // pending_ decrement precedes this load; the caller stores
+      // caller_parked_ before re-checking pending_.
+      if (caller_parked_.load(std::memory_order_seq_cst)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_one();
+      }
     }
   }
 }
 
-void ThreadPool::ForEachShard(
-    std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& body) {
-  if (count == 0) return;
-  const std::size_t shards =
-      std::min<std::size_t>(static_cast<std::size_t>(thread_count()), count);
-  if (shards == 1 || tls_inside_pool) {
-    // Serial path (single shard, or a nested call from inside a body):
-    // one shard sees every item, in index order.
-    body(0, 1);
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &body;
-    job_shards_ = shards;
-    pending_ = workers_.size();
-    std::fill(errors_.begin(), errors_.end(), nullptr);
-    ++epoch_;
-  }
-  work_cv_.notify_all();
-  // The calling thread is shard 0.
-  tls_inside_pool = true;
-  try {
-    body(0, shards);
-  } catch (...) {
-    errors_[0] = std::current_exception();
-  }
-  tls_inside_pool = false;
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
+void ThreadPool::RethrowFirstError() {
   for (std::exception_ptr& error : errors_) {
     if (error) {
       std::exception_ptr first = error;
@@ -103,30 +119,52 @@ void ThreadPool::ForEachShard(
   }
 }
 
-void ThreadPool::ForEach(std::size_t count,
-                         const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
-  ForEachShard(count, [&](std::size_t shard, std::size_t shard_count) {
-    for (std::size_t i = shard; i < count; i += shard_count) body(i);
-  });
-}
-
-void ForEach(ThreadPool* pool, std::size_t count,
-             const std::function<void(std::size_t)>& body) {
-  if (pool != nullptr) {
-    pool->ForEach(count, body);
-    return;
+void ThreadPool::DispatchRaw(std::size_t shards,
+                             void (*fn)(void*, std::size_t, std::size_t),
+                             void* context) {
+  // Publish the job, then bump the epoch (the release point).
+  job_fn_ = fn;
+  job_context_ = context;
+  job_shards_ = shards;
+  pending_.store(workers_.size(), std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  // Wake only if somebody actually parked.  A worker that decides to
+  // park after this load registers in parked_workers_ (seq_cst) and
+  // then re-checks the epoch under the lock, so it cannot miss the new
+  // job; see the header comment on the pairing.
+  if (parked_workers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    work_cv_.notify_all();
   }
-  for (std::size_t i = 0; i < count; ++i) body(i);
-}
 
-void ForEachShard(ThreadPool* pool, std::size_t count,
-                  const std::function<void(std::size_t, std::size_t)>& body) {
-  if (pool != nullptr) {
-    pool->ForEachShard(count, body);
-    return;
+  // The calling thread is shard 0.
+  tls_inside_pool = true;
+  try {
+    fn(context, 0, shards);
+  } catch (...) {
+    errors_[0] = std::current_exception();
   }
-  if (count > 0) body(0, 1);
+  tls_inside_pool = false;
+
+  // Wait for the workers: bounded spin, then park on done_cv_.
+  int spins_left = spin_allowed_ ? kSpinIterations : 0;
+  while (pending_.load(std::memory_order_seq_cst) != 0) {
+    if (spins_left > 0) {
+      --spins_left;
+      CpuRelax();
+      continue;
+    }
+    caller_parked_.store(true, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] {
+        return pending_.load(std::memory_order_seq_cst) == 0;
+      });
+    }
+    caller_parked_.store(false, std::memory_order_seq_cst);
+    break;
+  }
+  RethrowFirstError();
 }
 
 }  // namespace hobbit::common

@@ -45,10 +45,7 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
   // One pool for the whole campaign, reused across the calibration and
   // measurement stages (and shareable with the clustering stages via
   // config.pool).  The pool clamps degenerate thread counts itself.
-  common::ThreadPool local_pool(config.pool != nullptr ? 1
-                                                       : config.threads);
-  common::ThreadPool* pool =
-      config.pool != nullptr ? config.pool : &local_pool;
+  common::PoolRef pool(config.pool, config.threads);
 
   using Clock = std::chrono::steady_clock;
   const auto seconds_since = [](Clock::time_point start) {
@@ -86,13 +83,15 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
       std::swap(indices[i], indices[j]);
     }
     result.calibration.resize(want);
-    // One prober per shard, reused across that shard's blocks: the prober
-    // carries warm per-campaign state (its route memo), and each block's
-    // result depends only on its own RNG fork, so the shard->block
-    // assignment cannot change any output (see tests/test_concurrency.cpp).
-    pool->ForEachShard(want, [&](std::size_t shard, std::size_t shard_count) {
+    // One prober per shard, reused across that shard's contiguous run of
+    // blocks: the prober carries warm per-campaign state (its route
+    // memo), and each block's result depends only on its own RNG fork,
+    // so the chunk->block assignment cannot change any output (see
+    // tests/test_concurrency.cpp).  Contiguous chunks keep each shard
+    // writing adjacent result slots instead of striding the array.
+    pool->ForEachChunk(want, 1, [&](common::ChunkRange chunk) {
       BlockProber shard_prober(simulator, nullptr, config.prober);
-      for (std::size_t i = shard; i < want; i += shard_count) {
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
         result.calibration[i] = shard_prober.ProbeBlockFully(
             result.study_blocks[indices[i]], rng.Fork(indices[i]));
       }
@@ -110,10 +109,9 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
     const std::uint64_t before = simulator->probes_sent();
     result.results.resize(result.study_blocks.size());
     const std::size_t block_count = result.study_blocks.size();
-    pool->ForEachShard(block_count, [&](std::size_t shard,
-                                        std::size_t shard_count) {
+    pool->ForEachChunk(block_count, 1, [&](common::ChunkRange chunk) {
       BlockProber shard_prober(simulator, &result.table, config.prober);
-      for (std::size_t i = shard; i < block_count; i += shard_count) {
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
         result.results[i] = shard_prober.ProbeBlock(
             result.study_blocks[i], rng.Fork(0xB10CULL + i));
       }

@@ -8,11 +8,15 @@
 // src/common/parallel.h and DESIGN.md "Parallel execution model").
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/aggregate.h"
+#include "cluster/sparse.h"
 #include "common/parallel.h"
 #include "hobbit/pipeline.h"
 #include "hobbit/resultio.h"
@@ -262,6 +266,75 @@ TEST(DeterminismProperty, ValidationByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(ratios, baseline_ratios) << "threads=" << threads;
     EXPECT_EQ(validated, baseline_validated) << "threads=" << threads;
   }
+}
+
+TEST(DeterminismProperty, FusedMclIterationByteIdenticalAcrossThreadCounts) {
+  // MclIterate fuses expansion/inflation/pruning/renormalization into
+  // one dispatch; the resulting matrix (and the convergence delta) must
+  // be bit-identical for every thread count, column by column.
+  Rng rng(101);
+  std::vector<cluster::SparseMatrix::Triplet> triplets;
+  const std::uint32_t n = 80;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    triplets.push_back({c, c, 1.0});
+    for (int k = 0; k < 6; ++k) {
+      triplets.push_back({static_cast<std::uint32_t>(rng.NextBelow(n)), c,
+                          rng.NextUnit()});
+    }
+  }
+  cluster::SparseMatrix m =
+      cluster::SparseMatrix::FromTriplets(n, std::move(triplets));
+  m.NormalizeColumns();
+
+  double baseline_delta = 0.0;
+  cluster::SparseMatrix baseline =
+      m.MclIterate(2.0, 1e-4, 16, nullptr, &baseline_delta);
+  for (int threads : ThreadCounts()) {
+    common::ThreadPool pool(threads);
+    double delta = 0.0;
+    cluster::SparseMatrix result =
+        m.MclIterate(2.0, 1e-4, 16, &pool, &delta);
+    EXPECT_EQ(delta, baseline_delta) << "threads=" << threads;
+    ASSERT_EQ(result.nonzeros(), baseline.nonzeros())
+        << "threads=" << threads;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      auto rc = result.Column(c);
+      auto bc = baseline.Column(c);
+      ASSERT_EQ(rc.count, bc.count) << "threads=" << threads << " col " << c;
+      for (std::size_t i = 0; i < rc.count; ++i) {
+        ASSERT_EQ(rc.rows[i], bc.rows[i]);
+        ASSERT_EQ(rc.values[i], bc.values[i])
+            << "threads=" << threads << " col " << c << " entry " << i;
+      }
+    }
+  }
+}
+
+TEST(Concurrency, RapidSmallDispatchStress) {
+  // Thousands of back-to-back sub-millisecond dispatches exercise the
+  // spin/park handoff from every angle TSan can observe: job
+  // publication, the epoch bump, worker wake/park races against the
+  // dispatcher, and the caller-side completion wait.  Mixes chunk sizes
+  // so workers alternate between participating and sitting out a job.
+  common::ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  std::uint64_t expected = 0;
+  common::PerShard<std::uint64_t> scratch(
+      static_cast<std::size_t>(pool.thread_count()));
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t count = static_cast<std::size_t>(round % 9);
+    pool.ForEachChunk(count, 1, [&](common::ChunkRange chunk) {
+      // Unsynchronized per-shard scratch: TSan verifies no two workers
+      // ever share a slot.
+      *scratch[chunk.shard] += chunk.size();
+      sum.fetch_add(chunk.size(), std::memory_order_relaxed);
+    });
+    expected += count;
+  }
+  EXPECT_EQ(sum.load(), expected);
+  std::uint64_t scratch_total = 0;
+  for (const auto& slot : scratch) scratch_total += *slot;
+  EXPECT_EQ(scratch_total, expected);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "netsim/rng.h"
@@ -120,6 +122,67 @@ TEST(SparseMatrix, MaxDifference) {
   SparseMatrix b = SparseMatrix::FromTriplets(2, {{0, 0, 0.5}, {1, 1, 0.2}});
   EXPECT_NEAR(a.MaxDifference(b), 0.4, 1e-12);  // the (1,0) entry
   EXPECT_NEAR(a.MaxDifference(a), 0.0, 1e-12);
+}
+
+// Builds a pseudo-random column-stochastic matrix with the given size
+// and per-column support, deterministic in `seed`.
+SparseMatrix RandomStochastic(std::uint32_t n, std::uint32_t per_column,
+                              std::uint64_t seed) {
+  netsim::Rng rng(seed);
+  std::vector<Triplet> triplets;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    triplets.push_back({c, c, 1.0});  // self-loop keeps columns non-empty
+    for (std::uint32_t k = 0; k < per_column; ++k) {
+      const auto row = static_cast<std::uint32_t>(rng.NextBelow(n));
+      const double value =
+          1e-4 + static_cast<double>(rng.NextBelow(1000)) / 1000.0;
+      triplets.push_back({row, c, value});
+    }
+  }
+  SparseMatrix m = SparseMatrix::FromTriplets(n, std::move(triplets));
+  m.NormalizeColumns();
+  return m;
+}
+
+TEST(SparseMatrix, MclIterateMatchesUnfusedSequenceBitForBit) {
+  // The fused iteration must be *bit-identical* to the four-step
+  // sequence it replaced — same FP operations in the same order — and
+  // its reported delta must equal MaxDifference against the input.
+  for (std::uint64_t seed : {1ull, 42ull, 0xF00Dull}) {
+    SparseMatrix m = RandomStochastic(60, 5, seed);
+    for (int iteration = 0; iteration < 4; ++iteration) {
+      SparseMatrix unfused = m.Multiply(m);
+      unfused.Inflate(2.0);
+      unfused.Prune(1e-4, 12);
+      // Prune renormalizes internally, matching the fused path.
+      double delta = -1.0;
+      SparseMatrix fused = m.MclIterate(2.0, 1e-4, 12, nullptr, &delta);
+
+      ASSERT_EQ(fused.size(), unfused.size());
+      ASSERT_EQ(fused.nonzeros(), unfused.nonzeros());
+      for (std::uint32_t c = 0; c < fused.size(); ++c) {
+        auto fc = fused.Column(c);
+        auto uc = unfused.Column(c);
+        ASSERT_EQ(fc.count, uc.count) << "column " << c;
+        for (std::size_t i = 0; i < fc.count; ++i) {
+          ASSERT_EQ(fc.rows[i], uc.rows[i]) << "column " << c;
+          // Exact equality on purpose: the contract is bit identity,
+          // not tolerance.
+          ASSERT_EQ(fc.values[i], uc.values[i])
+              << "column " << c << " entry " << i;
+        }
+      }
+      EXPECT_EQ(delta, fused.MaxDifference(m));
+      m = std::move(fused);
+    }
+  }
+}
+
+TEST(SparseMatrix, MclIterateWithoutDeltaPointerIsSafe) {
+  SparseMatrix m = RandomStochastic(20, 3, 7);
+  SparseMatrix next = m.MclIterate(2.0, 1e-4, 8, nullptr, nullptr);
+  EXPECT_EQ(next.size(), m.size());
+  EXPECT_GT(next.nonzeros(), 0u);
 }
 
 }  // namespace
