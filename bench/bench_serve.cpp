@@ -7,10 +7,22 @@
 // is half hits (member /24s) and half misses (shifted keys), shuffled
 // deterministically, which is the unfriendliest realistic case for the
 // branch predictor.
+//
+// Exit codes follow bench_cluster_scaling: 0 ok, 1 batched answers
+// disagree with serial lookups, 2 scaling-gate failure.  The gates are
+// hardware-aware (see RequiredSpeedup): within the machine's core count
+// a batched run must not lose to the 1-thread batch (the chunked
+// scheduler's grain keeps dispatch overhead out of small batches, so
+// extra threads must be free or better); oversubscribed thread counts
+// only guard against pathological collapse, since time-slicing one core
+// across N workers cannot win.  `--quick` shrinks the world to smoke
+// scale (unless HOBBIT_SCALE pins it) and pads the floors for noise.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.h"
@@ -29,15 +41,36 @@ double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Minimum acceptable `batch_1t / batch_Nt` ratio on `hw` cores.
+double RequiredSpeedup(int threads, unsigned hw, bool quick) {
+  const unsigned cores = std::max(hw, 1u);
+  if (threads <= 1) return 0.0;  // 1t is the baseline
+  if (static_cast<unsigned>(threads) <= cores) {
+    // No-loss floor: adding threads within the core budget must never
+    // cost throughput (quick mode leaves headroom for smoke-scale
+    // noise, where a run is only a few milliseconds).
+    return quick ? 0.85 : 0.95;
+  }
+  return 0.4;  // oversubscribed: only flag a collapse
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (quick) ::setenv("HOBBIT_SCALE", "0.05", /*overwrite=*/0);
+
   bench::PrintHeader("serve lookup throughput",
                      "serving layer (no paper figure)");
+  const unsigned hw = std::thread::hardware_concurrency();
   const bench::World& world = bench::GetWorld();
   bench::JsonReporter report("serve");
   report.Config("scale", world.scale);
   report.Config("seed", static_cast<double>(world.seed));
+  report.Config("mode", quick ? "quick" : "full");
 
   auto buffer = serve::CompileSnapshot(
       world.final_blocks,
@@ -56,9 +89,9 @@ int main() {
               snapshot->buffer_bytes());
 
   // Query mix: every entry once as a hit and once shifted as a miss,
-  // repeated until ~4M queries, then shuffled.
+  // repeated until the target count, then shuffled.
   std::vector<std::uint32_t> queries;
-  const std::size_t target = 1 << 22;
+  const std::size_t target = quick ? (1 << 20) : (1 << 22);
   while (queries.size() < target) {
     for (std::size_t i = 0; i < snapshot->entry_count(); ++i) {
       queries.push_back(snapshot->EntryKey(i));
@@ -71,11 +104,14 @@ int main() {
     std::swap(queries[i - 1], queries[rng.NextBelow(i)]);
   }
 
-  // Single-threaded, one call per query.
+  // Single-threaded, one call per query; doubles as the answer key the
+  // batched runs are checked against.
+  std::vector<serve::LookupResult> reference(queries.size());
   std::size_t hits = 0;
   auto start = std::chrono::steady_clock::now();
-  for (std::uint32_t key : queries) {
-    hits += engine.Lookup(netsim::Ipv4Address(key)).found ? 1 : 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    reference[i] = engine.Lookup(netsim::Ipv4Address(queries[i]));
+    hits += reference[i].found ? 1 : 0;
   }
   double elapsed = Seconds(start);
   std::printf("single-thread : %8.0f klookups/s  (%zu/%zu hits, %.3fs)\n",
@@ -85,21 +121,38 @@ int main() {
   report.Metric("queries", static_cast<double>(queries.size()));
   report.Metric("single_thread_lookups_per_s", queries.size() / elapsed);
 
-  // Batched across thread counts.
+  // Batched across thread counts, gated against the 1-thread batch.
   std::vector<serve::LookupResult> answers(queries.size());
+  double batch_1t = 0.0;
+  bool all_identical = true;
+  bool gates_pass = true;
   for (int threads : {1, 2, 4, 8}) {
     common::ThreadPool pool(threads);
     start = std::chrono::steady_clock::now();
     engine.LookupBatch(queries, answers, &pool);
     elapsed = Seconds(start);
-    std::size_t batch_hits = 0;
-    for (const auto& a : answers) batch_hits += a.found ? 1 : 0;
-    std::printf("batch %2d thr  : %8.0f klookups/s  (%zu hits, %.3fs)\n",
-                threads, queries.size() / elapsed / 1e3, batch_hits,
-                elapsed);
-    report.Metric("batch_" + std::to_string(threads) + "t_lookups_per_s",
-                  queries.size() / elapsed);
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      if (answers[i].found != reference[i].found ||
+          answers[i].block != reference[i].block) {
+        all_identical = false;
+        break;
+      }
+    }
+    if (threads == 1) batch_1t = elapsed;
+    const double speedup = batch_1t / elapsed;
+    const double required = RequiredSpeedup(threads, hw, quick);
+    const bool pass = speedup >= required;
+    gates_pass = gates_pass && pass;
+    std::printf("batch %2d thr  : %8.0f klookups/s  (%5.2fx vs 1t, %.3fs)%s\n",
+                threads, queries.size() / elapsed / 1e3, speedup, elapsed,
+                pass ? "" : "  BELOW GATE");
+    const std::string tag = "batch_" + std::to_string(threads) + "t";
+    report.Metric(tag + "_lookups_per_s", queries.size() / elapsed);
+    report.Metric(tag + "_speedup", speedup);
+    report.Metric(tag + "_required_speedup", required);
   }
+  report.Metric("identical", all_identical ? 1.0 : 0.0);
+  report.Metric("gates_pass", gates_pass ? 1.0 : 0.0);
 
   // Covering queries: one per distinct /16 in the entry set.
   std::vector<netsim::Prefix> sixteens;
@@ -110,8 +163,8 @@ int main() {
   }
   std::size_t covered = 0;
   start = std::chrono::steady_clock::now();
-  constexpr int kCoverRounds = 200;
-  for (int round = 0; round < kCoverRounds; ++round) {
+  const int cover_rounds = quick ? 50 : 200;
+  for (int round = 0; round < cover_rounds; ++round) {
     for (const auto& p : sixteens) {
       covered += engine.Covering(p).size();
     }
@@ -119,12 +172,23 @@ int main() {
   elapsed = Seconds(start);
   std::printf(
       "covering /16  : %8.0f kqueries/s  (%zu /16s, %.1f entries avg)\n",
-      kCoverRounds * sixteens.size() / elapsed / 1e3, sixteens.size(),
+      cover_rounds * sixteens.size() / elapsed / 1e3, sixteens.size(),
       sixteens.empty()
           ? 0.0
-          : static_cast<double>(covered) / (kCoverRounds * sixteens.size()));
+          : static_cast<double>(covered) / (cover_rounds * sixteens.size()));
   report.Metric("covering_queries_per_s",
-                kCoverRounds * sixteens.size() / elapsed);
+                cover_rounds * sixteens.size() / elapsed);
   report.Write();
+
+  if (!all_identical) {
+    std::printf("\nbatched lookups DISAGREE with serial lookups (bug!)\n");
+    return 1;
+  }
+  if (!gates_pass) {
+    std::printf("\nscaling gate FAILED (threads_hw=%u; see table)\n", hw);
+    return 2;
+  }
+  std::printf("\nbatched == serial; scaling gates passed (threads_hw=%u)\n",
+              hw);
   return 0;
 }

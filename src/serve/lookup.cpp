@@ -66,9 +66,19 @@ std::size_t LookupEngine::DistinctBlocks(const EntryRange& range) const {
 void LookupEngine::LookupBatch(std::span<const std::uint32_t> keys,
                                std::span<LookupResult> answers,
                                common::ThreadPool* pool) const {
-  common::ForEach(pool, keys.size(), [&](std::size_t i) {
-    answers[i] = LookupKey(keys[i]);
-  });
+  // Chunked contiguous scheduling (PR 5): each worker streams through
+  // one adjacent slice of the answer array instead of striding it, and
+  // the grain keeps small batches from paying a dispatch at all — a
+  // single binary search is tens of nanoseconds, so only thousands of
+  // them are worth waking a worker for.
+  constexpr std::size_t kLookupGrain = 4096;
+  common::ForEachChunk(pool, keys.size(), kLookupGrain,
+                       [&](common::ChunkRange chunk) {
+                         for (std::size_t i = chunk.begin; i < chunk.end;
+                              ++i) {
+                           answers[i] = LookupKey(keys[i]);
+                         }
+                       });
 }
 
 }  // namespace hobbit::serve

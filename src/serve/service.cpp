@@ -11,22 +11,9 @@
 namespace hobbit::serve {
 namespace {
 
-/// Largest accepted BATCH size — bounds per-command allocation.
-constexpr std::size_t kMaxBatch = 1u << 20;
-
 std::string_view ClassName(std::uint8_t token) {
   if (token == kNoClass) return "-";
   return core::ClassificationToken(static_cast<core::Classification>(token));
-}
-
-/// Splits "CMD arg" on the first space; arg may itself contain spaces
-/// (RELOAD paths), so no further splitting.
-std::pair<std::string, std::string> SplitCommand(const std::string& line) {
-  std::size_t space = line.find(' ');
-  if (space == std::string::npos) return {line, ""};
-  std::size_t arg_start = line.find_first_not_of(' ', space);
-  if (arg_start == std::string::npos) return {line.substr(0, space), ""};
-  return {line.substr(0, space), line.substr(arg_start)};
 }
 
 /// A query is an address ("1.2.3.4") or a /24 ("1.2.3.0/24"); either way
@@ -65,6 +52,26 @@ void PrintExact(std::ostream& out, const Snapshot& snapshot,
 }
 
 }  // namespace
+
+std::pair<std::string, std::string> SplitCommand(const std::string& line) {
+  std::size_t space = line.find(' ');
+  if (space == std::string::npos) return {line, ""};
+  std::size_t arg_start = line.find_first_not_of(' ', space);
+  if (arg_start == std::string::npos) return {line.substr(0, space), ""};
+  return {line.substr(0, space), line.substr(arg_start)};
+}
+
+BatchSizeParse ParseBatchSize(const std::string& arg, std::size_t* count) {
+  std::size_t parsed = 0;
+  try {
+    parsed = std::stoul(arg);
+  } catch (...) {
+    return BatchSizeParse::kBadSyntax;
+  }
+  if (parsed > kMaxBatch) return BatchSizeParse::kTooLarge;
+  *count = parsed;
+  return BatchSizeParse::kOk;
+}
 
 std::size_t LineService::Run(std::istream& in, std::ostream& out) {
   std::size_t commands = 0;
@@ -134,15 +141,15 @@ void LineService::CmdLookup(const std::string& arg, std::ostream& out) {
 void LineService::CmdBatch(const std::string& arg, std::istream& in,
                            std::ostream& out) {
   std::size_t count = 0;
-  try {
-    count = std::stoul(arg);
-  } catch (...) {
-    out << "ERR bad batch size: " << arg << "\n";
-    return;
-  }
-  if (count > kMaxBatch) {
-    out << "ERR batch too large: " << arg << "\n";
-    return;
+  switch (ParseBatchSize(arg, &count)) {
+    case BatchSizeParse::kOk:
+      break;
+    case BatchSizeParse::kBadSyntax:
+      out << "ERR bad batch size: " << arg << "\n";
+      return;
+    case BatchSizeParse::kTooLarge:
+      out << "ERR batch too large: " << arg << "\n";
+      return;
   }
   // The n query lines are consumed even when no snapshot is loaded, so
   // the stream stays in protocol sync.

@@ -25,14 +25,29 @@
 // Queries against an empty store answer "ERR no snapshot loaded".
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 
 #include "common/parallel.h"
 #include "serve/metrics.h"
 #include "serve/store.h"
 
 namespace hobbit::serve {
+
+/// Largest accepted BATCH size — bounds per-command allocation.  Shared
+/// with the reactor's connection driver, which must agree on what a
+/// valid BATCH header is before it starts collecting query lines.
+inline constexpr std::size_t kMaxBatch = 1u << 20;
+
+/// Splits "CMD arg" on the first space; arg may itself contain spaces
+/// (RELOAD paths), so no further splitting.
+std::pair<std::string, std::string> SplitCommand(const std::string& line);
+
+/// Parses a BATCH argument; *count is valid only for kOk.
+enum class BatchSizeParse { kOk, kBadSyntax, kTooLarge };
+BatchSizeParse ParseBatchSize(const std::string& arg, std::size_t* count);
 
 class LineService {
  public:

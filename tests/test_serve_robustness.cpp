@@ -1,7 +1,11 @@
-// Snapshot loader robustness, in the test_parser_robustness.cpp mould:
-// hostile bytes must never crash the loader, every corruption is rejected
-// with a message, and the text formats and the binary snapshot agree
-// after a round trip.
+// Serving-layer robustness, in the test_parser_robustness.cpp mould:
+// hostile bytes must never crash the loader *or* the wire protocol.
+// Part one covers the snapshot loader (every corruption rejected with a
+// message, text formats and the binary snapshot agree after a round
+// trip); part two covers the connection framing layer that the reactor
+// feeds raw socket bytes — exact rules first, then a seeded random
+// byte-stream fuzzer.  The framing layer is transport-free by design
+// (see src/serve/connection.h), so none of this needs a socket.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -9,8 +13,10 @@
 #include "cluster/blockio.h"
 #include "hobbit/resultio.h"
 #include "netsim/rng.h"
+#include "serve/connection.h"
 #include "serve/lookup.h"
 #include "serve/snapshot.h"
+#include "serve/store.h"
 #include "test_util.h"
 
 namespace hobbit::serve {
@@ -198,6 +204,269 @@ TEST(SnapshotRobustness, TextToBinaryRoundTripEquivalence) {
     EXPECT_EQ(snapshot->BlockMemberCount(b), (*blocks)[b].member_24s.size());
   }
 }
+
+// ---------------------------------------------------------------------
+// Wire-protocol framing: LineFramer and Connection against hostile and
+// fragmented byte streams.
+
+/// A live service over the ValidBuffer() snapshot, for Connection tests.
+class ProtocolFixture {
+ public:
+  ProtocolFixture() {
+    std::string error;
+    auto snapshot = Snapshot::FromBuffer(ValidBuffer(), &error);
+    EXPECT_TRUE(snapshot.has_value()) << error;
+    store_.Swap(std::make_shared<const Snapshot>(*std::move(snapshot)));
+    service_ = std::make_unique<LineService>(&store_, &metrics_);
+  }
+  LineService* service() { return service_.get(); }
+
+ private:
+  SnapshotStore store_;
+  ServeMetrics metrics_;
+  std::unique_ptr<LineService> service_;
+};
+
+TEST(LineFramer, CrlfSplitAcrossAppendsYieldsOneLine) {
+  LineFramer framer(64);
+  std::string line;
+  framer.Append("LOOKUP 20.0.1.1\r");
+  EXPECT_EQ(framer.Next(&line), LineFramer::Status::kNeedMore);
+  framer.Append("\n");
+  ASSERT_EQ(framer.Next(&line), LineFramer::Status::kLine);
+  EXPECT_EQ(line, "LOOKUP 20.0.1.1");  // '\r' stripped
+  EXPECT_EQ(framer.Next(&line), LineFramer::Status::kNeedMore);
+}
+
+TEST(LineFramer, NulByteIsAStickyError) {
+  LineFramer framer(64);
+  std::string line;
+  framer.Append(std::string_view("LOOK\0UP x\n", 10));
+  EXPECT_EQ(framer.Next(&line), LineFramer::Status::kBadByte);
+  // Nothing rehabilitates a poisoned stream, valid lines included.
+  framer.Append("STATS\n");
+  EXPECT_EQ(framer.Next(&line), LineFramer::Status::kBadByte);
+  EXPECT_TRUE(framer.poisoned());
+}
+
+TEST(LineFramer, OversizedLineIsAStickyError) {
+  LineFramer framer(8);
+  std::string line;
+  // Exactly at the limit (terminator excluded) is fine...
+  framer.Append("12345678\n");
+  ASSERT_EQ(framer.Next(&line), LineFramer::Status::kLine);
+  EXPECT_EQ(line, "12345678");
+  // ...one byte beyond is not, even before any newline shows up.
+  framer.Append("123456789");
+  EXPECT_EQ(framer.Next(&line), LineFramer::Status::kTooLong);
+  framer.Append("\nSTATS\n");
+  EXPECT_EQ(framer.Next(&line), LineFramer::Status::kTooLong);
+}
+
+TEST(LineFramer, CrlfDoesNotCountAgainstTheLimit) {
+  LineFramer framer(8);
+  std::string line;
+  framer.Append("12345678\r\n");  // 9 raw bytes before '\n', 8 of content
+  ASSERT_EQ(framer.Next(&line), LineFramer::Status::kLine);
+  EXPECT_EQ(line, "12345678");
+}
+
+TEST(LineFramer, LongSessionsCompactTheBuffer) {
+  // Tens of thousands of lines through a small framer: the consumed
+  // prefix must be reclaimed (this is a liveness property — the assert
+  // is simply that every line round-trips in order).
+  LineFramer framer(64);
+  std::string line;
+  int sent = 0;
+  int received = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::string chunk;
+    for (int i = 0; i < 100; ++i) {
+      chunk += "line-" + std::to_string(sent++) + "\n";
+    }
+    framer.Append(chunk);
+    while (framer.Next(&line) == LineFramer::Status::kLine) {
+      ASSERT_EQ(line, "line-" + std::to_string(received));
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, sent);
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(ConnectionProtocol, GarbageBeforeAndAfterValidCommands) {
+  ProtocolFixture fixture;
+  Connection conn(fixture.service(), ConnectionLimits{});
+  // Unknown commands are protocol-legal noise: the session keeps going.
+  EXPECT_TRUE(conn.Ingest("definitely not a command\n"
+                          "LOOKUP 20.0.1.1\n"
+                          "!!!\n"));
+  EXPECT_FALSE(conn.Ingest("QUIT\n"));
+  EXPECT_EQ(std::string(conn.pending()),
+            "ERR unknown command: definitely\n"
+            "HIT 20.0.1.0/24 block=0 class=same-last-hop members=2 hops=2\n"
+            "ERR unknown command: !!!\n"
+            "BYE\n");
+  EXPECT_TRUE(conn.done());
+  EXPECT_FALSE(conn.protocol_error());  // QUIT is a clean ending
+}
+
+TEST(ConnectionProtocol, EveryChunkingOfASessionGivesTheSameReply) {
+  const std::string session =
+      "# leading comment\r\n"
+      "BATCH 3\n"
+      "20.0.1.1\r\n"
+      "8.8.8.8\n"
+      "99.1.2.3\n"
+      "LOOKUP 20.0.9.4\n"
+      "QUIT\n";
+  const std::string expected =
+      "HIT 20.0.1.0/24 block=0 class=same-last-hop members=2 hops=2\n"
+      "MISS 8.8.8.8\n"
+      "HIT 99.1.2.0/24 block=1 class=- members=1 hops=1\n"
+      "OK 3\n"
+      "HIT 20.0.9.0/24 block=0 class=- members=2 hops=2\n"
+      "BYE\n";
+  ProtocolFixture fixture;
+  for (std::size_t chunk = 1; chunk <= session.size(); ++chunk) {
+    Connection conn(fixture.service(), ConnectionLimits{});
+    bool more = true;
+    for (std::size_t at = 0; at < session.size() && more; at += chunk) {
+      more = conn.Ingest(
+          std::string_view(session).substr(at, chunk));
+    }
+    EXPECT_EQ(std::string(conn.pending()), expected)
+        << "chunk size " << chunk;
+    EXPECT_TRUE(conn.done());
+  }
+}
+
+TEST(ConnectionProtocol, EofMidBatchReportsTruncation) {
+  ProtocolFixture fixture;
+  Connection conn(fixture.service(), ConnectionLimits{});
+  EXPECT_TRUE(conn.Ingest("BATCH 3\n20.0.1.1\n"));
+  conn.OnEof();
+  EXPECT_TRUE(conn.done());
+  EXPECT_NE(std::string(conn.pending()).find("ERR"), std::string::npos);
+}
+
+TEST(ConnectionProtocol, BackpressureHysteresisIsExact) {
+  ProtocolFixture fixture;
+  ConnectionLimits limits;
+  limits.write_buffer_cap = 150;
+  limits.write_buffer_resume = 40;
+  Connection conn(fixture.service(), limits);
+  // Each HIT reply is ~58 bytes; three commands cross the 150-byte cap.
+  int commands = 0;
+  while (!conn.paused()) {
+    ASSERT_TRUE(conn.Ingest("LOOKUP 20.0.1.1\n"));
+    ASSERT_LT(++commands, 100) << "cap never engaged";
+  }
+  EXPECT_GT(conn.pending().size(), limits.write_buffer_cap);
+  // Drain one byte at a time: the pause must lift at exactly the first
+  // moment the backlog is below the resume mark, not at the cap.
+  while (conn.paused()) {
+    std::size_t backlog = conn.pending().size();
+    ASSERT_GT(backlog, 0u);
+    conn.Consume(1);
+    if (conn.pending().size() >= limits.write_buffer_resume) {
+      EXPECT_TRUE(conn.paused());
+    } else {
+      EXPECT_FALSE(conn.paused());
+    }
+  }
+  // Resumed: the connection accepts and answers new commands.
+  ASSERT_TRUE(conn.Ingest("LOOKUP 99.1.2.3\n"));
+  EXPECT_NE(std::string(conn.pending()).find("HIT 99.1.2.0/24"),
+            std::string::npos);
+}
+
+// Seeded random byte streams against the full framing + dispatch stack.
+// The generator mixes valid protocol, torn fragments, comments, NULs,
+// oversized runs and binary noise, delivered in random chunk sizes; the
+// invariants are structural, so any seed must hold them.
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolFuzz, RandomByteStreamsNeverCrashOrCorruptState) {
+  netsim::Rng rng(GetParam());
+  ProtocolFixture fixture;
+  for (int round = 0; round < 120; ++round) {
+    // Assemble a hostile input tape out of weighted segments.
+    std::string tape;
+    int segments = 1 + static_cast<int>(rng.NextBelow(30));
+    for (int s = 0; s < segments; ++s) {
+      switch (rng.NextBelow(8)) {
+        case 0:
+          tape += "LOOKUP 20.0.1.1\n";
+          break;
+        case 1:
+          tape += "BATCH 2\n20.0.1.1\n99.1.2.3\n";
+          break;
+        case 2:
+          tape += "STATS\r\n";
+          break;
+        case 3:
+          tape += "# comment\n\n";
+          break;
+        case 4: {  // binary noise, NULs included
+          std::size_t length = rng.NextBelow(40);
+          for (std::size_t i = 0; i < length; ++i) {
+            tape.push_back(static_cast<char>(rng.NextBelow(256)));
+          }
+          break;
+        }
+        case 5:  // a line that may or may not exceed max_line_bytes
+          tape.append(rng.NextBelow(3000), 'a');
+          break;
+        case 6:
+          tape += "BATCH 999999999999999999999\n";  // size parse edge
+          break;
+        case 7:
+          tape.push_back('\n');
+          break;
+      }
+    }
+    ConnectionLimits limits;
+    limits.max_line_bytes = 1u << 11;
+    limits.write_buffer_cap = 1u << 12;
+    limits.write_buffer_resume = 1u << 10;
+    Connection conn(fixture.service(), limits);
+    bool accepting = true;
+    std::uint64_t last_commands = 0;
+    std::string drained;  // what a real peer would have received so far
+    for (std::size_t at = 0; at < tape.size();) {
+      std::size_t chunk = 1 + rng.NextBelow(97);
+      bool more =
+          conn.Ingest(std::string_view(tape).substr(at, chunk));
+      at += chunk;
+      // Ingest is monotone: once it says stop, it never says go again.
+      ASSERT_TRUE(accepting || !more);
+      accepting = more;
+      ASSERT_EQ(!more, conn.done());
+      // Command counter only moves forward.
+      ASSERT_GE(conn.commands(), last_commands);
+      last_commands = conn.commands();
+      // Replies are protocol text: never a NUL, whatever came in.
+      ASSERT_EQ(conn.pending().find('\0'), std::string_view::npos);
+      // Random partial drains exercise Consume()'s compaction paths.
+      if (!conn.pending().empty() && rng.NextBelow(2) == 0) {
+        std::size_t n = 1 + rng.NextBelow(conn.pending().size());
+        drained.append(conn.pending().substr(0, n));
+        conn.Consume(n);
+      }
+    }
+    conn.OnEof();
+    ASSERT_TRUE(conn.done());
+    if (conn.protocol_error()) {
+      // A framing kill always tells the client why before closing.
+      std::string out = drained + std::string(conn.pending());
+      ASSERT_NE(out.find("ERR protocol: "), std::string::npos);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
 
 }  // namespace
 }  // namespace hobbit::serve

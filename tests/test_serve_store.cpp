@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -59,6 +61,33 @@ std::shared_ptr<const Snapshot> Load(const std::vector<std::byte>& bytes) {
   return std::make_shared<const Snapshot>(*std::move(snapshot));
 }
 
+/// Start-line rendezvous: the writer blocks until every reader has
+/// checked in, so swaps are guaranteed to overlap live readers instead
+/// of hoping the scheduler interleaves them (on a loaded single-core
+/// box the writer used to be able to finish every swap before a reader
+/// thread first ran).
+class StartGate {
+ public:
+  explicit StartGate(int expected) : remaining_(expected) {}
+
+  /// A participant announces it is about to enter its work loop.
+  void Arrive() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--remaining_ == 0) all_arrived_.notify_all();
+  }
+
+  /// The coordinator waits for every participant.
+  void AwaitAll() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_arrived_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable all_arrived_;
+  int remaining_;
+};
+
 TEST(SnapshotStore, HotSwapUnderConcurrentLookups) {
   constexpr int kSlash24s = 64;
   constexpr int kReaders = 4;
@@ -71,13 +100,15 @@ TEST(SnapshotStore, HotSwapUnderConcurrentLookups) {
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> reads{0};
   std::atomic<int> inconsistencies{0};
+  StartGate gate(kReaders);
   std::vector<std::thread> readers;
   readers.reserve(kReaders);
   for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&, r] {
       std::uint32_t key = 0x14000000u + 256u * static_cast<unsigned>(r);
-      // do-while so each reader validates at least one pass even if the
-      // writer finishes all swaps before this thread first runs.
+      gate.Arrive();
+      // do-while: even a reader descheduled right after the rendezvous
+      // still validates at least one pass.
       do {
         std::shared_ptr<const Snapshot> snapshot = store.Current();
         LookupEngine engine(*snapshot);
@@ -105,6 +136,9 @@ TEST(SnapshotStore, HotSwapUnderConcurrentLookups) {
     });
   }
 
+  // Swaps begin only after every reader is live, so they are guaranteed
+  // to land on running lookup loops.
+  gate.AwaitAll();
   for (int s = 0; s < kSwaps; ++s) {
     store.Swap(s % 2 == 0 ? two : one);
     std::this_thread::yield();
@@ -146,10 +180,12 @@ TEST(SnapshotStore, ConcurrentFileReloadsAgainstReaders) {
   ASSERT_TRUE(store.ReloadFromFile(good_path));
 
   std::atomic<bool> stop{false};
+  StartGate gate(2);
   std::vector<std::thread> readers;
   for (int r = 0; r < 2; ++r) {
     readers.emplace_back([&] {
-      while (!stop.load(std::memory_order_acquire)) {
+      gate.Arrive();
+      do {
         auto snapshot = store.Current();
         ASSERT_NE(snapshot, nullptr);
         std::uint64_t epoch = snapshot->epoch();
@@ -159,9 +195,10 @@ TEST(SnapshotStore, ConcurrentFileReloadsAgainstReaders) {
         // 20.0.0.0/24 (0x14000000) exists in both epochs, block 0.
         ASSERT_TRUE(got.found);
         ASSERT_EQ(got.block, 0u);
-      }
+      } while (!stop.load(std::memory_order_acquire));
     });
   }
+  gate.AwaitAll();  // reloads start only against live readers
   for (int s = 0; s < 60; ++s) {
     EXPECT_TRUE(
         store.ReloadFromFile(s % 2 == 0 ? next_path : good_path));
@@ -198,13 +235,14 @@ TEST(SnapshotStore, ServiceSessionsDuringReloads) {
   ASSERT_TRUE(store.ReloadFromFile(a_path));
 
   std::atomic<bool> stop{false};
+  StartGate gate(2);
   std::vector<std::thread> sessions;
   for (int t = 0; t < 2; ++t) {
     sessions.emplace_back([&] {
       LineService service(&store, &metrics);
-      // do-while: on a single-core box the main thread can finish every
-      // reload and raise `stop` before this thread is first scheduled;
-      // each session must still run at least once.
+      gate.Arrive();
+      // do-while: each session still validates at least one pass even
+      // if it is descheduled right after the rendezvous.
       do {
         std::istringstream in("LOOKUP 20.0.2.1\nLOOKUP 20.0.1.1\n");
         std::ostringstream out;
@@ -218,6 +256,7 @@ TEST(SnapshotStore, ServiceSessionsDuringReloads) {
       } while (!stop.load(std::memory_order_acquire));
     });
   }
+  gate.AwaitAll();  // reloads start only against live sessions
   for (int s = 0; s < 80; ++s) {
     ASSERT_TRUE(store.ReloadFromFile(s % 2 == 0 ? b_path : a_path));
   }

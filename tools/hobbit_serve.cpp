@@ -1,30 +1,49 @@
 // hobbit_serve — the block lookup service.
 //
-// Speaks the LineService protocol (see src/serve/service.h) over
-// stdin/stdout, serving a compiled snapshot (produced by
-// `hobbit_sim export-snapshot`) with RCU hot-swap on RELOAD:
+// Speaks the LineService protocol (see src/serve/service.h) either over
+// stdin/stdout (the default, and `--stdio` explicitly) or, with
+// `--listen`/`--port`, as an event-driven multi-client TCP server (see
+// src/serve/reactor.h) hosting many concurrent conversations:
 //
 //   hobbit_sim export-snapshot --scale 0.05 --out epoch1.snap
+//   # one conversation over a pipe:
 //   printf 'LOOKUP 20.0.1.7\nSTATS\nQUIT\n' |
 //       hobbit_serve --snapshot epoch1.snap --threads 4
+//   # many concurrent clients over TCP:
+//   hobbit_serve --snapshot epoch1.snap --threads 4 --port 7424 &
+//   printf 'LOOKUP 20.0.1.7\nQUIT\n' | nc 127.0.0.1 7424
 //
-// Diagnostics go to stderr; stdout carries only protocol replies, so the
-// binary pipes cleanly.
+// Diagnostics go to stderr; stdout carries only protocol replies (stdio
+// mode), so the binary pipes cleanly.  SIGINT/SIGTERM trigger a graceful
+// drain: pending replies are flushed before the server exits.
 
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "common/parallel.h"
+#include "serve/reactor.h"
 #include "serve/service.h"
 
 namespace {
 
+hobbit::serve::Reactor* g_reactor = nullptr;
+
+void HandleSignal(int) {
+  if (g_reactor != nullptr) g_reactor->Stop();  // async-signal-safe
+}
+
 int Usage() {
   std::cerr <<
-      "usage: hobbit_serve [--snapshot FILE] [--threads N]\n"
-      "  serves LOOKUP/BATCH/RELOAD/STATS/QUIT over stdin/stdout;\n"
-      "  without --snapshot, start empty and load via RELOAD.\n";
+      "usage: hobbit_serve [--snapshot FILE] [--threads N] [--stdio]\n"
+      "                    [--listen ADDR] [--port P]\n"
+      "                    [--max-connections N] [--idle-timeout-ms T]\n"
+      "                    [--use-poll]\n"
+      "  serves LOOKUP/BATCH/RELOAD/STATS/QUIT; without --snapshot,\n"
+      "  start empty and load via RELOAD.  Default transport is\n"
+      "  stdin/stdout; --listen/--port starts the multi-client TCP\n"
+      "  server (--port 0 picks an ephemeral port, printed to stderr).\n";
   return 2;
 }
 
@@ -33,12 +52,30 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string snapshot_path;
   int threads = 1;
+  bool stdio = true;
+  hobbit::serve::ReactorOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--snapshot" && i + 1 < argc) {
       snapshot_path = argv[++i];
     } else if (flag == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (flag == "--stdio") {
+      stdio = true;
+    } else if (flag == "--listen" && i + 1 < argc) {
+      options.bind_address = argv[++i];
+      stdio = false;
+    } else if (flag == "--port" && i + 1 < argc) {
+      options.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      stdio = false;
+    } else if (flag == "--max-connections" && i + 1 < argc) {
+      options.max_connections =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (flag == "--idle-timeout-ms" && i + 1 < argc) {
+      options.idle_timeout =
+          std::chrono::milliseconds(std::atoll(argv[++i]));
+    } else if (flag == "--use-poll") {
+      options.use_poll = true;
     } else {
       return Usage();
     }
@@ -63,8 +100,32 @@ int main(int argc, char** argv) {
     std::cerr << "no snapshot loaded; waiting for RELOAD\n";
   }
 
-  hobbit::serve::LineService service(&store, &metrics, &pool);
-  std::size_t commands = service.Run(std::cin, std::cout);
-  std::cerr << "session end: " << commands << " command(s)\n";
-  return 0;
+  if (stdio) {
+    hobbit::serve::LineService service(&store, &metrics, &pool);
+    std::size_t commands = service.Run(std::cin, std::cout);
+    std::cerr << "session end: " << commands << " command(s)\n";
+    return 0;
+  }
+
+  hobbit::serve::Reactor reactor(&store, &metrics, &pool, options);
+  std::string error;
+  if (!reactor.Listen(&error)) {
+    std::cerr << "cannot listen on " << options.bind_address << ":"
+              << options.port << ": " << error << "\n";
+    return 1;
+  }
+  std::cerr << "listening on " << options.bind_address << ":"
+            << reactor.port() << "\n";
+  g_reactor = &reactor;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // broken pipes surface as write errors
+  int rc = reactor.Run();
+  g_reactor = nullptr;
+  const auto& stats = reactor.stats();
+  std::cerr << "server end: " << stats.accepted.load() << " accepted, "
+            << stats.commands.load() << " command(s), "
+            << stats.bytes_out.load() << " bytes out"
+            << (rc == 0 ? "" : " (drain timeout)") << "\n";
+  return rc;
 }
