@@ -115,22 +115,27 @@ std::string CurrentCommit() {
       env != nullptr && *env != '\0') {
     return env;
   }
-  std::string commit = "unknown";
   FILE* pipe = ::popen(
       "git -C \"" HOBBIT_REPO_ROOT "\" rev-parse --short HEAD 2>/dev/null",
       "r");
   if (pipe != nullptr) {
     char buffer[64] = {0};
+    std::string line;
     if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
-      std::string line(buffer);
+      line = buffer;
       while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
         line.pop_back();
       }
-      if (!line.empty()) commit = line;
     }
     ::pclose(pipe);
+    if (!line.empty()) return line;
   }
-  return commit;
+  // A report without a commit stamp cannot be diffed against history, so
+  // refuse to produce one rather than writing "unknown" into a JSON that
+  // looks authoritative.
+  std::cerr << "[bench] fatal: cannot resolve the current commit -- set "
+               "HOBBIT_COMMIT or run inside the git checkout\n";
+  std::exit(1);
 }
 
 void AppendObject(

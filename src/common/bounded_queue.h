@@ -1,0 +1,136 @@
+// bounded_queue.h — the fixed-capacity handoff between pipeline stages.
+//
+// The streaming campaign (src/stream) turns the batch pipeline into
+// producer/consumer stages; this queue is the joint between them and the
+// thing that makes the whole arrangement *bounded-memory*: a producer
+// that outruns its consumer parks in Push until a slot frees, so the
+// number of in-flight items — and with them the observation buffers they
+// carry — can never exceed the configured capacity.  No spinning, no
+// unbounded growth, no dropped items.
+//
+// Semantics:
+//  * Push blocks while the queue is full; returns false only when the
+//    queue was closed (the item is then dropped — producers treat that
+//    as "stop producing").
+//  * Pop blocks while the queue is empty; returns nullopt once the
+//    queue is closed AND drained, so consumers can use
+//    `while (auto item = queue.Pop())` as their whole loop.
+//  * Close is idempotent and wakes every waiter.  Items already queued
+//    are still delivered (close-then-drain, never close-and-discard).
+//
+// Multiple producers and multiple consumers are supported (one mutex
+// covers the ring); the streaming pipeline uses it many-producers /
+// one-consumer.  FIFO order holds per queue, not per producer — the
+// consumer must not rely on cross-producer arrival order, which is why
+// the stream aggregator is order-independent by construction.
+//
+// `counters()` exposes the backpressure telemetry the per-stage
+// PipelineStats-style reporting wants: totals, how often each side had
+// to wait, and the peak depth actually reached.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace hobbit::common {
+
+/// Backpressure telemetry of one queue, a consistent snapshot.
+struct QueueCounters {
+  std::uint64_t pushed = 0;      ///< items accepted by Push
+  std::uint64_t popped = 0;      ///< items delivered by Pop
+  std::uint64_t push_waits = 0;  ///< Push calls that found the ring full
+  std::uint64_t pop_waits = 0;   ///< Pop calls that found the ring empty
+  std::size_t peak_depth = 0;    ///< maximum items resident at once
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` < 1 clamps to 1 (a zero-slot queue could never move an
+  /// item: Push would wait on Pop and Pop on Push).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {
+    ring_.resize(capacity_);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Blocks while full.  Returns true when the item was enqueued, false
+  /// when the queue is closed (item dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == capacity_ && !closed_) {
+      ++counters_.push_waits;
+      not_full_.wait(lock, [this] { return size_ < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    ring_[(head_ + size_) % capacity_] = std::move(item);
+    ++size_;
+    ++counters_.pushed;
+    if (size_ > counters_.peak_depth) counters_.peak_depth = size_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty.  Returns nullopt once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == 0 && !closed_) {
+      ++counters_.pop_waits;
+      not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+    }
+    if (size_ == 0) return std::nullopt;  // closed and drained
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    ++counters_.popped;
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Ends the stream: producers get false, consumers drain then nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  QueueCounters counters() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  QueueCounters counters_;
+};
+
+}  // namespace hobbit::common

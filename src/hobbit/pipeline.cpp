@@ -35,39 +35,43 @@ std::vector<const BlockResult*> PipelineResult::HomogeneousBlocks() const {
   return out;
 }
 
-PipelineResult RunPipeline(const netsim::Internet& internet,
-                           const PipelineConfig& config,
-                           const netsim::Simulator* simulator) {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+CampaignSetup PrepareCampaign(const netsim::Internet& internet,
+                              const PipelineConfig& config,
+                              const netsim::Simulator* simulator,
+                              common::ThreadPool* pool) {
   if (simulator == nullptr) simulator = internet.simulator.get();
-  PipelineResult result;
-  netsim::Rng rng(config.seed);
-
-  // One pool for the whole campaign, reused across the calibration and
-  // measurement stages (and shareable with the clustering stages via
-  // config.pool).  The pool clamps degenerate thread counts itself.
-  common::PoolRef pool(config.pool, config.threads);
-
-  using Clock = std::chrono::steady_clock;
-  const auto seconds_since = [](Clock::time_point start) {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-  };
+  CampaignSetup setup;
+  // The root RNG is never advanced, only forked: every stage derives its
+  // stream from (seed, constant), so stages can be re-run or resumed
+  // independently without replaying the streams of earlier ones.
+  const netsim::Rng rng(config.seed);
 
   // Stage 0: snapshot + universe selection (liveness read through the
   // chosen simulator's epoch).
-  const auto snapshot_start = Clock::now();
+  const auto snapshot_start = std::chrono::steady_clock::now();
   probing::ZmapSnapshot snapshot =
       probing::RunZmapScan(internet, internet.study_24s, simulator);
-  result.stats.snapshot_active_addresses = snapshot.ActiveCount();
-  result.stats.candidate_24s = snapshot.blocks.size();
-  result.study_blocks = probing::SelectStudyBlocks(snapshot);
-  result.stats.study_24s = result.study_blocks.size();
-  result.stats.snapshot_seconds = seconds_since(snapshot_start);
+  setup.stats.snapshot_active_addresses = snapshot.ActiveCount();
+  setup.stats.candidate_24s = snapshot.blocks.size();
+  setup.study_blocks = probing::SelectStudyBlocks(snapshot);
+  setup.stats.study_24s = setup.study_blocks.size();
+  setup.stats.snapshot_seconds = SecondsSince(snapshot_start);
 
   // Stage 1: calibration — exhaustively probe a uniform sample.
-  const auto calibration_start = Clock::now();
+  const auto calibration_start = std::chrono::steady_clock::now();
   {
     const std::uint64_t before = simulator->probes_sent();
-    const std::size_t universe = result.study_blocks.size();
+    const std::size_t universe = setup.study_blocks.size();
     std::size_t want = std::min<std::size_t>(
         universe, static_cast<std::size_t>(std::max(0,
                                                     config.calibration_blocks)));
@@ -82,7 +86,7 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
       std::size_t j = i + sample_rng.NextBelow(universe - i);
       std::swap(indices[i], indices[j]);
     }
-    result.calibration.resize(want);
+    setup.calibration.resize(want);
     // One prober per shard, reused across that shard's contiguous run of
     // blocks: the prober carries warm per-campaign state (its route
     // memo), and each block's result depends only on its own RNG fork,
@@ -92,19 +96,41 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
     pool->ForEachChunk(want, 1, [&](common::ChunkRange chunk) {
       BlockProber shard_prober(simulator, nullptr, config.prober);
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-        result.calibration[i] = shard_prober.ProbeBlockFully(
-            result.study_blocks[indices[i]], rng.Fork(indices[i]));
+        setup.calibration[i] = shard_prober.ProbeBlockFully(
+            setup.study_blocks[indices[i]], rng.Fork(indices[i]));
       }
     });
-    result.stats.probes_sent += simulator->probes_sent() - before;
+    setup.stats.probes_sent += simulator->probes_sent() - before;
   }
-  result.table = ConfidenceTable::Build(result.calibration,
-                                        rng.Fork(0x7AB1EULL),
-                                        config.samples_per_block);
-  result.stats.calibration_seconds = seconds_since(calibration_start);
+  setup.table = ConfidenceTable::Build(setup.calibration,
+                                       rng.Fork(0x7AB1EULL),
+                                       config.samples_per_block);
+  setup.stats.calibration_seconds = SecondsSince(calibration_start);
+  return setup;
+}
+
+PipelineResult RunPipeline(const netsim::Internet& internet,
+                           const PipelineConfig& config,
+                           const netsim::Simulator* simulator) {
+  if (simulator == nullptr) simulator = internet.simulator.get();
+
+  // One pool for the whole campaign, reused across the calibration and
+  // measurement stages (and shareable with the clustering stages via
+  // config.pool).  The pool clamps degenerate thread counts itself.
+  common::PoolRef pool(config.pool, config.threads);
+
+  PipelineResult result;
+  {
+    CampaignSetup setup =
+        PrepareCampaign(internet, config, simulator, pool.get());
+    result.study_blocks = std::move(setup.study_blocks);
+    result.calibration = std::move(setup.calibration);
+    result.table = std::move(setup.table);
+    result.stats = setup.stats;
+  }
 
   // Stage 2: the main measurement.
-  const auto measurement_start = Clock::now();
+  const auto measurement_start = std::chrono::steady_clock::now();
   {
     const std::uint64_t before = simulator->probes_sent();
     result.results.resize(result.study_blocks.size());
@@ -113,12 +139,12 @@ PipelineResult RunPipeline(const netsim::Internet& internet,
       BlockProber shard_prober(simulator, &result.table, config.prober);
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
         result.results[i] = shard_prober.ProbeBlock(
-            result.study_blocks[i], rng.Fork(0xB10CULL + i));
+            result.study_blocks[i], MeasurementRng(config.seed, i));
       }
     });
     result.stats.probes_sent += simulator->probes_sent() - before;
   }
-  result.stats.measurement_seconds = seconds_since(measurement_start);
+  result.stats.measurement_seconds = SecondsSince(measurement_start);
   return result;
 }
 

@@ -72,6 +72,40 @@ struct PipelineResult {
   std::vector<const BlockResult*> HomogeneousBlocks() const;
 };
 
+/// Stages 0 + 1 of a campaign as a resumable unit: the zmap snapshot and
+/// universe selection, then the calibration sample and confidence table.
+/// Both the batch RunPipeline and the streaming campaign driver
+/// (src/stream) start from this, so their measurement inputs — study
+/// list, table, per-block RNG forks — are identical by construction.
+struct CampaignSetup {
+  /// The study universe (sorted by prefix) and its snapshot records.
+  std::vector<probing::ZmapBlock> study_blocks;
+  /// Calibration dataset (exhaustively probed blocks).
+  std::vector<FullyProbedBlock> calibration;
+  ConfidenceTable table;
+  /// snapshot_* / calibration fields filled; measurement fields are the
+  /// caller's to add.
+  PipelineStats stats;
+};
+
+/// Runs stages 0 + 1.  `simulator` selects the probed view (nullptr =
+/// the internet's primary); `pool` must be non-null (callers hold a
+/// PoolRef).  Deterministic in (config.seed, world); thread-count
+/// invariant like every stage.
+CampaignSetup PrepareCampaign(const netsim::Internet& internet,
+                              const PipelineConfig& config,
+                              const netsim::Simulator* simulator,
+                              common::ThreadPool* pool);
+
+/// The per-block RNG of the main measurement: a pure function of the
+/// campaign seed and the block's index in the sorted study list.  Batch
+/// and streaming measurement both fork from here, which is what makes
+/// their classifications bit-identical regardless of stage shape,
+/// thread count or arrival order.
+inline netsim::Rng MeasurementRng(std::uint64_t seed, std::size_t index) {
+  return netsim::Rng(seed).Fork(0xB10CULL + index);
+}
+
 /// Runs the campaign.  `simulator` overrides the internet's primary
 /// simulator (another vantage or a later epoch); nullptr uses the
 /// default.

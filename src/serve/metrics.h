@@ -55,7 +55,11 @@ struct ServeMetrics {
   LatencyHistogram latency;                      ///< one sample per command
 
   /// The STATS wire rendering (two lines, no trailing newline).
-  std::string Format(std::uint64_t generation, std::uint64_t epoch) const;
+  /// `publish` / `delta_entries` carry the store's publish provenance
+  /// (last publish kind and patch entry count) into the stats line.
+  std::string Format(std::uint64_t generation, std::uint64_t epoch,
+                     const char* publish = "none",
+                     std::uint64_t delta_entries = 0) const;
 };
 
 }  // namespace hobbit::serve

@@ -213,7 +213,9 @@ void LineService::CmdReload(const std::string& arg, std::ostream& out) {
 void LineService::CmdStats(std::ostream& out) {
   std::shared_ptr<const Snapshot> snapshot = store_->Current();
   out << metrics_->Format(store_->generation(),
-                          snapshot ? snapshot->epoch() : 0)
+                          snapshot ? snapshot->epoch() : 0,
+                          ToString(store_->last_publish_kind()),
+                          store_->last_delta_entries())
       << "\n";
 }
 

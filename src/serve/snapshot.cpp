@@ -6,41 +6,19 @@
 #include <map>
 #include <utility>
 
+#include "serve/wire.h"
+
 namespace hobbit::serve {
 namespace {
 
+using wire::AppendU32;
+using wire::AppendU64;
+using wire::PadTo4;
+using wire::ReadU32;
+using wire::ReadU64;
+
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void AppendU32(std::vector<std::byte>& out, std::uint32_t value) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out.push_back(static_cast<std::byte>((value >> shift) & 0xFF));
-  }
-}
-
-void AppendU64(std::vector<std::byte>& out, std::uint64_t value) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    out.push_back(static_cast<std::byte>((value >> shift) & 0xFF));
-  }
-}
-
-std::uint32_t ReadU32(const std::byte* p) {
-  std::uint32_t value = 0;
-  for (int i = 3; i >= 0; --i) {
-    value = (value << 8) | std::to_integer<std::uint32_t>(p[i]);
-  }
-  return value;
-}
-
-std::uint64_t ReadU64(const std::byte* p) {
-  std::uint64_t value = 0;
-  for (int i = 7; i >= 0; --i) {
-    value = (value << 8) | std::to_integer<std::uint64_t>(p[i]);
-  }
-  return value;
-}
-
-std::size_t PadTo4(std::size_t n) { return (4 - n % 4) % 4; }
 
 /// Derived payload size for given section counts.
 std::uint64_t PayloadBytesFor(std::uint64_t n, std::uint64_t m,
@@ -84,9 +62,9 @@ std::vector<ClassifiedPrefix> ClassifiedFrom(
   return out;
 }
 
-std::vector<std::byte> CompileSnapshot(
+std::vector<SnapshotEntry> BuildSnapshotEntries(
     std::span<const cluster::AggregateBlock> blocks,
-    std::span<const ClassifiedPrefix> classified, std::uint64_t epoch) {
+    std::span<const ClassifiedPrefix> classified) {
   // key -> (block id, class token); block membership wins over a
   // results-only record, classification survives either insertion order.
   std::map<std::uint32_t, std::pair<std::uint32_t, std::uint8_t>> entries;
@@ -102,32 +80,48 @@ std::vector<std::byte> CompileSnapshot(
       pos->second.second = c.class_token;
     }
   }
-
-  std::vector<std::byte> payload;
-  const std::size_t n = entries.size();
-  std::size_t hop_total = 0;
-  for (const cluster::AggregateBlock& block : blocks) {
-    hop_total += block.last_hops.size();
-  }
-  payload.reserve(PayloadBytesFor(n, blocks.size(), hop_total));
-  for (const auto& [key, meta] : entries) AppendU32(payload, key);
-  for (const auto& [key, meta] : entries) AppendU32(payload, meta.first);
+  std::vector<SnapshotEntry> out;
+  out.reserve(entries.size());
   for (const auto& [key, meta] : entries) {
-    payload.push_back(static_cast<std::byte>(meta.second));
+    out.push_back({key, meta.first, meta.second});
   }
-  payload.resize(payload.size() + PadTo4(n), std::byte{0});
+  return out;
+}
+
+void AppendBlockTable(std::span<const cluster::AggregateBlock> blocks,
+                      std::vector<std::byte>* blocktab,
+                      std::vector<std::byte>* hops) {
   std::uint32_t hop_offset = 0;
   for (const cluster::AggregateBlock& block : blocks) {
-    AppendU32(payload, static_cast<std::uint32_t>(block.member_24s.size()));
-    AppendU32(payload, hop_offset);
-    AppendU32(payload, static_cast<std::uint32_t>(block.last_hops.size()));
+    AppendU32(*blocktab, static_cast<std::uint32_t>(block.member_24s.size()));
+    AppendU32(*blocktab, hop_offset);
+    AppendU32(*blocktab, static_cast<std::uint32_t>(block.last_hops.size()));
     hop_offset += static_cast<std::uint32_t>(block.last_hops.size());
   }
   for (const cluster::AggregateBlock& block : blocks) {
     for (const netsim::Ipv4Address& hop : block.last_hops) {
-      AppendU32(payload, hop.value());
+      AppendU32(*hops, hop.value());
     }
   }
+}
+
+std::vector<std::byte> AssembleSnapshot(std::span<const SnapshotEntry> entries,
+                                        std::span<const std::byte> blocktab,
+                                        std::span<const std::byte> hops,
+                                        std::uint64_t epoch) {
+  std::vector<std::byte> payload;
+  const std::size_t n = entries.size();
+  const std::size_t m = blocktab.size() / 12;
+  const std::size_t h = hops.size() / 4;
+  payload.reserve(PayloadBytesFor(n, m, h));
+  for (const SnapshotEntry& e : entries) AppendU32(payload, e.key);
+  for (const SnapshotEntry& e : entries) AppendU32(payload, e.block);
+  for (const SnapshotEntry& e : entries) {
+    payload.push_back(static_cast<std::byte>(e.class_token));
+  }
+  payload.resize(payload.size() + PadTo4(n), std::byte{0});
+  payload.insert(payload.end(), blocktab.begin(), blocktab.end());
+  payload.insert(payload.end(), hops.begin(), hops.end());
 
   std::vector<std::byte> out;
   out.reserve(kSnapshotHeaderBytes + payload.size());
@@ -135,14 +129,24 @@ std::vector<std::byte> CompileSnapshot(
   AppendU32(out, kSnapshotVersion);
   AppendU32(out, kSnapshotHeaderBytes);
   AppendU32(out, static_cast<std::uint32_t>(n));
-  AppendU32(out, static_cast<std::uint32_t>(blocks.size()));
-  AppendU32(out, static_cast<std::uint32_t>(hop_total));
+  AppendU32(out, static_cast<std::uint32_t>(m));
+  AppendU32(out, static_cast<std::uint32_t>(h));
   AppendU64(out, epoch);
   AppendU64(out, payload.size());
   AppendU64(out, Fnv1a64(payload));
   AppendU64(out, 0);  // reserved
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
+}
+
+std::vector<std::byte> CompileSnapshot(
+    std::span<const cluster::AggregateBlock> blocks,
+    std::span<const ClassifiedPrefix> classified, std::uint64_t epoch) {
+  std::vector<SnapshotEntry> entries = BuildSnapshotEntries(blocks, classified);
+  std::vector<std::byte> blocktab;
+  std::vector<std::byte> hops;
+  AppendBlockTable(blocks, &blocktab, &hops);
+  return AssembleSnapshot(entries, blocktab, hops, epoch);
 }
 
 std::uint32_t Snapshot::LoadU32(std::size_t offset) const {

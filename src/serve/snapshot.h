@@ -77,10 +77,42 @@ std::vector<ClassifiedPrefix> ClassifiedFrom(
 std::vector<ClassifiedPrefix> ClassifiedFrom(
     std::span<const core::BlockResult> results);
 
+/// One resolved snapshot entry: a /24 key with its owning block id (or
+/// kNoBlock) and classification token (or kNoClass).  The row form of
+/// the snapshot's three columnar entry sections.
+struct SnapshotEntry {
+  std::uint32_t key = 0;
+  std::uint32_t block = kNoBlock;
+  std::uint8_t class_token = kNoClass;
+};
+
+/// Resolves blocks + classifications into the sorted, deduplicated entry
+/// list.  Entries are the union: every block member /24 and every
+/// classified /24.  Duplicate keys collapse (block membership wins for
+/// the block id, the classification rides along either insertion order).
+std::vector<SnapshotEntry> BuildSnapshotEntries(
+    std::span<const cluster::AggregateBlock> blocks,
+    std::span<const ClassifiedPrefix> classified);
+
+/// Serializes the blocktab and hop-pool payload sections for `blocks`
+/// (appended to the given buffers).  Shared by the full compiler and the
+/// patch compiler so both emit bit-identical block sections.
+void AppendBlockTable(std::span<const cluster::AggregateBlock> blocks,
+                      std::vector<std::byte>* blocktab,
+                      std::vector<std::byte>* hops);
+
+/// Assembles a complete v1 snapshot buffer from pre-resolved parts:
+/// sorted entries plus already-serialized blocktab/hops sections.  Both
+/// CompileSnapshot and the patch applier (serve/delta.h) funnel through
+/// here, which is what makes a patched snapshot byte-identical to a full
+/// recompile of the same state.
+std::vector<std::byte> AssembleSnapshot(
+    std::span<const SnapshotEntry> entries, std::span<const std::byte> blocktab,
+    std::span<const std::byte> hops, std::uint64_t epoch);
+
 /// Lowers a block list plus (optionally empty) per-/24 classifications into
-/// a v1 snapshot buffer.  Entries are the union: every block member /24 and
-/// every classified /24.  Duplicate keys collapse (block membership wins
-/// for the block id, the classification rides along when present).
+/// a v1 snapshot buffer.  Equivalent to BuildSnapshotEntries +
+/// AppendBlockTable + AssembleSnapshot.
 std::vector<std::byte> CompileSnapshot(
     std::span<const cluster::AggregateBlock> blocks,
     std::span<const ClassifiedPrefix> classified = {},
@@ -107,6 +139,9 @@ class Snapshot {
   std::uint64_t epoch() const { return epoch_; }
   std::uint64_t checksum() const { return checksum_; }
   std::size_t buffer_bytes() const { return buffer_.size(); }
+  /// The full serialized form (header + payload), e.g. for byte-level
+  /// comparison against a reference compile or for re-serialization.
+  std::span<const std::byte> bytes() const { return buffer_; }
 
   /// The i-th /24 base address (host order).  Strictly ascending in i.
   std::uint32_t EntryKey(std::size_t i) const {

@@ -1,6 +1,18 @@
 #include "serve/store.h"
 
+#include "serve/delta.h"
+#include "serve/wire.h"
+
 namespace hobbit::serve {
+
+const char* ToString(PublishKind kind) {
+  switch (kind) {
+    case PublishKind::kNone: return "none";
+    case PublishKind::kFull: return "full";
+    case PublishKind::kDelta: return "delta";
+  }
+  return "?";
+}
 
 bool SnapshotStore::ReloadFromFile(const std::string& path,
                                    std::string* error) {
@@ -10,6 +22,38 @@ bool SnapshotStore::ReloadFromFile(const std::string& path,
     return false;
   }
   Swap(std::make_shared<const Snapshot>(*std::move(loaded)));
+  return true;
+}
+
+bool SnapshotStore::PublishPatch(std::span<const std::byte> patch,
+                                 std::string* error) {
+  // Pin the base once: concurrent full swaps between here and the
+  // publish would change the base out from under the patch, but the
+  // patch's base_checksum check already rejects that case explicitly.
+  std::shared_ptr<const Snapshot> base = Current();
+  if (base == nullptr) {
+    if (error != nullptr) *error = "no base snapshot published yet";
+    failed_reloads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::optional<std::vector<std::byte>> patched =
+      ApplyPatch(*base, patch, error);
+  if (!patched) {
+    failed_reloads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::optional<Snapshot> loaded =
+      Snapshot::FromBuffer(*std::move(patched), error);
+  if (!loaded) {
+    failed_reloads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // upsert_count + remove_count, straight from the validated header.
+  const std::uint64_t delta_entries =
+      std::uint64_t{wire::ReadU32(patch.data() + 12)} +
+      wire::ReadU32(patch.data() + 16);
+  SwapWithKind(std::make_shared<const Snapshot>(*std::move(loaded)),
+               PublishKind::kDelta, delta_entries);
   return true;
 }
 

@@ -29,11 +29,21 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
 
 #include "serve/snapshot.h"
 
 namespace hobbit::serve {
+
+/// How the served snapshot last arrived, for STATS provenance.
+enum class PublishKind : std::uint8_t {
+  kNone,  ///< nothing published yet (or store taken offline)
+  kFull,  ///< whole-snapshot Swap / ReloadFromFile
+  kDelta  ///< PublishPatch applied to the previous snapshot
+};
+
+const char* ToString(PublishKind kind);
 
 class SnapshotStore {
  public:
@@ -53,23 +63,26 @@ class SnapshotStore {
   /// Publishes `snapshot` (may be null to take the store offline) and
   /// returns the new generation number.  Generation 0 == never loaded.
   std::uint64_t Swap(std::shared_ptr<const Snapshot> snapshot) {
-    // The old snapshot's release (possibly the last reference) runs
-    // outside the lock, after the swap is visible.
-    std::shared_ptr<const Snapshot> retired;
-    std::uint64_t generation;
-    {
-      std::unique_lock<std::shared_mutex> lock(mutex_);
-      retired = std::move(current_);
-      current_ = std::move(snapshot);
-      generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    }
-    return generation;
+    const PublishKind kind =
+        snapshot == nullptr ? PublishKind::kNone : PublishKind::kFull;
+    return SwapWithKind(std::move(snapshot), kind, 0);
   }
 
   /// Validates `path` as a v1 snapshot and swaps it in on success.  On
   /// failure returns false, stores a message in *error (when non-null)
   /// and leaves the served snapshot untouched.
   bool ReloadFromFile(const std::string& path, std::string* error = nullptr);
+
+  /// Applies an HSPT patch (serve/delta.h) to the current snapshot and
+  /// publishes the result.  Validation is end-to-end: the patch itself
+  /// (checksums, base identity, key discipline) and then the patched
+  /// buffer through the full Snapshot::FromBuffer gauntlet.  Any failure
+  /// returns false, counts as a failed reload, and leaves the served
+  /// snapshot untouched — a corrupt patch can never take the store down
+  /// or publish a half-applied state.  Fails when nothing is published
+  /// yet (a patch needs a base; bootstrap with Swap/ReloadFromFile).
+  bool PublishPatch(std::span<const std::byte> patch,
+                    std::string* error = nullptr);
 
   /// Monotonic count of successful swaps.
   std::uint64_t generation() const {
@@ -79,12 +92,40 @@ class SnapshotStore {
   std::uint64_t failed_reloads() const {
     return failed_reloads_.load(std::memory_order_relaxed);
   }
+  /// How the served snapshot last arrived (full swap vs delta patch).
+  PublishKind last_publish_kind() const {
+    return last_kind_.load(std::memory_order_acquire);
+  }
+  /// Entry-level size (upserts + removes) of the last applied patch;
+  /// 0 after a full publish.
+  std::uint64_t last_delta_entries() const {
+    return last_delta_entries_.load(std::memory_order_acquire);
+  }
 
  private:
+  std::uint64_t SwapWithKind(std::shared_ptr<const Snapshot> snapshot,
+                             PublishKind kind, std::uint64_t delta_entries) {
+    // The old snapshot's release (possibly the last reference) runs
+    // outside the lock, after the swap is visible.
+    std::shared_ptr<const Snapshot> retired;
+    std::uint64_t generation;
+    {
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      retired = std::move(current_);
+      current_ = std::move(snapshot);
+      generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      last_kind_.store(kind, std::memory_order_release);
+      last_delta_entries_.store(delta_entries, std::memory_order_release);
+    }
+    return generation;
+  }
+
   mutable std::shared_mutex mutex_;
   std::shared_ptr<const Snapshot> current_;
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<std::uint64_t> failed_reloads_{0};
+  std::atomic<PublishKind> last_kind_{PublishKind::kNone};
+  std::atomic<std::uint64_t> last_delta_entries_{0};
 };
 
 }  // namespace hobbit::serve

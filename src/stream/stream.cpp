@@ -1,0 +1,291 @@
+#include "stream/stream.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/parallel.h"
+#include "serve/delta.h"
+#include "serve/snapshot.h"
+
+namespace hobbit::stream {
+namespace {
+
+/// One probed block travelling probe→aggregate.  Carries the full
+/// BlockResult (observations included) — exactly the payload whose
+/// resident count the queue bounds.
+struct ResultItem {
+  std::size_t index = 0;
+  core::BlockResult result;
+};
+
+/// The consumer stage: classification tally, per-/24 records, §5
+/// identical-last-hop grouping, and snapshot publishing.  Single-owner
+/// state — only the aggregator thread touches it until Join.
+class Aggregator {
+ public:
+  Aggregator(const StreamConfig& config, StreamResult* out)
+      : config_(config), out_(out) {}
+
+  void Consume(ResultItem item) {
+    // Take ownership so the observation buffers die at scope exit; only
+    // the compact record survives.
+    core::BlockResult result = std::move(item.result);
+    out_->classification_counts[static_cast<std::size_t>(
+        result.classification)]++;
+    records_[result.prefix.base().value()] =
+        StreamRecord{result.prefix, result.classification,
+                     result.probes_used};
+    if (core::IsHomogeneous(result.classification) &&
+        !result.last_hop_set.empty()) {
+      groups_[result.last_hop_set].push_back(result.prefix);
+    }
+    ++since_publish_;
+    if (config_.store != nullptr && config_.publish_every > 0 &&
+        since_publish_ >= config_.publish_every) {
+      Publish();
+      since_publish_ = 0;
+    }
+  }
+
+  /// Final state: records/blocks into the result, the closing publish,
+  /// and the final snapshot bytes.
+  void Finish() {
+    out_->records.reserve(records_.size());
+    for (const auto& [key, record] : records_) out_->records.push_back(record);
+    out_->blocks = BuildBlocks();
+    if (config_.store != nullptr) {
+      // Publish the final state unless the last periodic publish already
+      // covered it (then the served snapshot IS the final state).
+      if (since_publish_ > 0 || out_->stats.publishes == 0) Publish();
+      if (std::shared_ptr<const serve::Snapshot> current =
+              config_.store->Current()) {
+        std::span<const std::byte> bytes = current->bytes();
+        out_->final_snapshot.assign(bytes.begin(), bytes.end());
+      }
+    } else {
+      out_->final_snapshot = serve::CompileSnapshot(
+          out_->blocks, Classified(), config_.epoch_base);
+      out_->stats.publishes++;
+    }
+  }
+
+ private:
+  /// The groups lowered into cluster::AggregateIdentical's canonical
+  /// form: members sorted, blocks by descending member count (ties by
+  /// first prefix).  Keyed maps make this arrival-order independent.
+  std::vector<cluster::AggregateBlock> BuildBlocks() const {
+    std::vector<cluster::AggregateBlock> blocks;
+    blocks.reserve(groups_.size());
+    for (const auto& [set, members] : groups_) {
+      cluster::AggregateBlock block;
+      block.last_hops = set;
+      block.member_24s = members;
+      std::sort(block.member_24s.begin(), block.member_24s.end());
+      blocks.push_back(std::move(block));
+    }
+    std::sort(blocks.begin(), blocks.end(),
+              [](const cluster::AggregateBlock& a,
+                 const cluster::AggregateBlock& b) {
+                if (a.member_24s.size() != b.member_24s.size()) {
+                  return a.member_24s.size() > b.member_24s.size();
+                }
+                return a.member_24s.front() < b.member_24s.front();
+              });
+    return blocks;
+  }
+
+  std::vector<serve::ClassifiedPrefix> Classified() const {
+    std::vector<serve::ClassifiedPrefix> classified;
+    classified.reserve(records_.size());
+    for (const auto& [key, record] : records_) {
+      classified.push_back(
+          {record.prefix,
+           static_cast<std::uint8_t>(record.classification)});
+    }
+    return classified;
+  }
+
+  void Publish() {
+    StreamStats& stats = out_->stats;
+    const std::uint64_t epoch = config_.epoch_base + stats.publishes;
+    const std::vector<cluster::AggregateBlock> blocks = BuildBlocks();
+    const std::vector<serve::ClassifiedPrefix> classified = Classified();
+    bool ok = false;
+    if (base_ == nullptr) {
+      // Bootstrap: the store has nothing of ours to patch against.
+      std::vector<std::byte> bytes =
+          serve::CompileSnapshot(blocks, classified, epoch);
+      std::optional<serve::Snapshot> snapshot =
+          serve::Snapshot::FromBuffer(std::move(bytes));
+      if (snapshot) {
+        config_.store->Swap(
+            std::make_shared<const serve::Snapshot>(*std::move(snapshot)));
+        ok = true;
+      }
+    } else {
+      serve::DeltaStats delta;
+      std::vector<std::byte> patch =
+          serve::CompileDelta(*base_, blocks, classified, epoch, &delta);
+      ok = config_.store->PublishPatch(patch);
+      if (ok) {
+        stats.delta_publishes++;
+        stats.delta_entries += delta.upserts + delta.removes;
+      }
+    }
+    if (!ok) {
+      stats.publish_failures++;
+      return;
+    }
+    stats.publishes++;
+    base_ = config_.store->Current();
+    if (config_.verify_full_reference) {
+      const std::vector<std::byte> reference =
+          serve::CompileSnapshot(blocks, classified, epoch);
+      std::span<const std::byte> served = base_->bytes();
+      if (served.size() != reference.size() ||
+          !std::equal(served.begin(), served.end(), reference.begin())) {
+        stats.reference_mismatches++;
+      }
+    }
+  }
+
+  const StreamConfig& config_;
+  StreamResult* out_;
+  std::map<std::vector<netsim::Ipv4Address>, std::vector<netsim::Prefix>>
+      groups_;
+  std::map<std::uint32_t, StreamRecord> records_;
+  std::size_t since_publish_ = 0;
+  /// The snapshot the next patch diffs against (what the store serves).
+  std::shared_ptr<const serve::Snapshot> base_;
+};
+
+}  // namespace
+
+StreamResult RunStreamCampaign(const netsim::Internet& internet,
+                               const StreamConfig& config) {
+  const netsim::Simulator* simulator = internet.simulator.get();
+  common::PoolRef pool(config.pool, config.threads);
+
+  core::PipelineConfig setup_config;
+  setup_config.seed = config.seed;
+  setup_config.calibration_blocks = config.calibration_blocks;
+  setup_config.samples_per_block = config.samples_per_block;
+  setup_config.prober = config.prober;
+  core::CampaignSetup setup =
+      core::PrepareCampaign(internet, setup_config, simulator, pool.get());
+
+  StreamResult result;
+  result.stats.setup = setup.stats;
+  result.stats.measured_24s = setup.study_blocks.size();
+
+  common::BoundedQueue<ResultItem> queue(config.window);
+  // The O(in-flight) guarantee: at most `capacity` queued results plus
+  // one under construction per worker plus one being consumed.  (The
+  // queue clamps capacity 0 to 1, hence capacity() not config.window.)
+  result.stats.inflight_bound =
+      queue.capacity() + static_cast<std::size_t>(pool->thread_count()) + 1;
+  std::atomic<std::size_t> inflight{0};
+  std::atomic<std::size_t> peak_inflight{0};
+
+  Aggregator aggregator(config, &result);
+  std::thread consumer([&] {
+    while (std::optional<ResultItem> item = queue.Pop()) {
+      aggregator.Consume(*std::move(item));
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
+  });
+
+  const auto measurement_start = std::chrono::steady_clock::now();
+  const std::uint64_t probes_before = simulator->probes_sent();
+  const std::size_t total = setup.study_blocks.size();
+  const std::size_t segment =
+      config.segment == 0 ? (total == 0 ? 1 : total) : config.segment;
+  std::size_t done = 0;
+  std::size_t segment_index = 0;
+  while (done < total) {
+    if (segment_index > 0 && config.on_segment_boundary) {
+      // No probe is in flight here (the previous wave's ForEachChunk has
+      // returned), so the callback may mutate the world.
+      config.on_segment_boundary(segment_index);
+    }
+    const std::size_t count = std::min(segment, total - done);
+    const std::size_t base = done;
+    pool->ForEachChunk(count, 1, [&](common::ChunkRange chunk) {
+      core::BlockProber prober(simulator, &setup.table, config.prober);
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        const std::size_t index = base + i;
+        const std::size_t now =
+            inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::size_t peak = peak_inflight.load(std::memory_order_relaxed);
+        while (now > peak && !peak_inflight.compare_exchange_weak(
+                                 peak, now, std::memory_order_relaxed)) {
+        }
+        ResultItem item;
+        item.index = index;
+        item.result = prober.ProbeBlock(setup.study_blocks[index],
+                                        core::MeasurementRng(config.seed,
+                                                             index));
+        // Push parks here when the aggregator lags — the backpressure
+        // that bounds resident observations.
+        queue.Push(std::move(item));
+      }
+    });
+    done += count;
+    ++segment_index;
+  }
+  queue.Close();
+  consumer.join();
+
+  result.stats.probes_sent = simulator->probes_sent() - probes_before;
+  result.stats.measurement_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    measurement_start)
+          .count();
+  result.stats.peak_inflight_results =
+      peak_inflight.load(std::memory_order_relaxed);
+  result.stats.results_queue = queue.counters();
+
+  aggregator.Finish();
+  return result;
+}
+
+std::size_t InjectRouteChurn(netsim::Topology& topology, netsim::Rng& rng,
+                             std::size_t flips) {
+  const std::size_t routers = topology.router_count();
+  if (routers == 0) return 0;
+  const netsim::Topology& view = topology;  // const reads don't bump epochs
+  std::size_t applied = 0;
+  for (std::size_t f = 0; f < flips; ++f) {
+    bool flipped = false;
+    for (std::size_t attempt = 0; attempt < 32 && !flipped; ++attempt) {
+      const auto id = static_cast<netsim::RouterId>(rng.NextBelow(routers));
+      const std::vector<netsim::FibEntry>& entries =
+          view.router(id).fib.entries();
+      if (entries.empty()) continue;
+      const std::size_t start = rng.NextBelow(entries.size());
+      for (std::size_t k = 0; k < entries.size(); ++k) {
+        const netsim::FibEntry& entry = entries[(start + k) % entries.size()];
+        if (entry.group.next_hops.size() < 2) continue;
+        // Copy before the mutable re-Add: Fib::Add may reallocate the
+        // entry storage `entry` points into.
+        const netsim::Prefix prefix = entry.prefix;
+        netsim::EcmpGroup group = entry.group;
+        std::rotate(group.next_hops.begin(), group.next_hops.begin() + 1,
+                    group.next_hops.end());
+        topology.router(id).fib.Add(prefix, std::move(group));
+        ++applied;
+        flipped = true;
+        break;
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace hobbit::stream

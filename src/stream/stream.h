@@ -1,0 +1,157 @@
+// stream.h — the streaming campaign: bounded-memory pipeline stages.
+//
+// The batch pipeline (hobbit/pipeline.h) materializes every /24's full
+// BlockResult — observations included — before anything downstream runs,
+// so a campaign's resident set is O(world).  The streaming driver keeps
+// the same stages but runs them as producers and a consumer joined by a
+// fixed-capacity queue (common/bounded_queue.h):
+//
+//   driver ──ForEachChunk──▶ probe workers ──BoundedQueue──▶ aggregator
+//   (segments of the          (stage 2, on the   (capacity =   (grouping +
+//    study list)               shared pool)       window)       classify +
+//                                                               aggregate +
+//                                                               publish)
+//
+// The aggregator consumes each BlockResult as it arrives: it keeps the
+// classification tally, the per-/24 record, and the identical-last-hop
+// groups (hobbit §5), then *drops the observations*.  Backpressure does
+// the rest: a worker that outruns the aggregator parks in Push, so the
+// number of full BlockResults resident at any instant is bounded by
+//
+//   window + worker threads + 1 (the item being consumed)
+//
+// regardless of world size — the O(in-flight) guarantee, asserted by
+// bench_stream and StreamStats::peak_inflight_results.
+//
+// Determinism: measurement inputs come from core::PrepareCampaign and
+// every /24 is probed with core::MeasurementRng(seed, index), so each
+// classification is a pure function of (world-at-its-segment, seed,
+// index) — bit-identical to the batch pipeline and invariant under
+// thread count and arrival order.  The aggregator's state is keyed maps,
+// so its published output is arrival-order independent too.
+//
+// Publishing: with a SnapshotStore attached the aggregator publishes the
+// evolving state — a full snapshot first, then HSPT delta patches
+// (serve/delta.h) every `publish_every` classified blocks — while
+// readers keep querying through the store's RCU swap.  Each published
+// state can be differentially checked against a full recompile
+// (`verify_full_reference`), which is the byte-identity gate.
+//
+// Churn: `on_segment_boundary` fires between probe waves with no probe
+// in flight; it may mutate the topology (InjectRouteChurn flips ECMP
+// next-hop orders, bumping Topology::mutation_epoch so route memos
+// re-resolve).  Segment boundaries sit at fixed indices, so churned
+// campaigns stay thread-count invariant.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/aggregate.h"
+#include "common/bounded_queue.h"
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+#include "serve/store.h"
+
+namespace hobbit::stream {
+
+struct StreamConfig {
+  std::uint64_t seed = 1;
+  /// Probe worker threads (ignored when `pool` is set); the aggregator
+  /// runs on its own dedicated thread either way.
+  int threads = 1;
+  /// Optional externally owned pool shared with other stages.
+  common::ThreadPool* pool = nullptr;
+  /// Stage-0/1 knobs, as in core::PipelineConfig.
+  int calibration_blocks = 1500;
+  int samples_per_block = 64;
+  core::ProberOptions prober;
+
+  /// Capacity of the probe→aggregate queue.  The in-flight bound —
+  /// the most full BlockResults ever resident — is
+  /// window + worker threads + 1.
+  std::size_t window = 256;
+  /// Blocks per probe wave; the segment boundary callback fires between
+  /// waves.  0 = one wave over the whole study list (no boundaries).
+  std::size_t segment = 0;
+  /// Publish a delta snapshot every this many classified blocks
+  /// (requires `store`); 0 = publish only the final state.
+  std::size_t publish_every = 0;
+  /// Destination of the published snapshots; null = no live publishing
+  /// (the final snapshot is still compiled into StreamResult).
+  serve::SnapshotStore* store = nullptr;
+  /// Epoch of the first published snapshot; each further publish
+  /// increments by one.
+  std::uint64_t epoch_base = 1;
+  /// After every publish, recompile the full snapshot of the same state
+  /// and byte-compare against what the store serves.  The differential
+  /// gate for the delta path; costs O(state) per publish.
+  bool verify_full_reference = false;
+  /// Called between probe waves (segment index 1, 2, ...) with no probe
+  /// in flight; may mutate the world (e.g. InjectRouteChurn).
+  std::function<void(std::size_t)> on_segment_boundary;
+};
+
+/// Per-stage counters of one streaming campaign.
+struct StreamStats {
+  /// Stage-0/1 numbers from PrepareCampaign (snapshot_* / calibration).
+  core::PipelineStats setup;
+  std::size_t measured_24s = 0;
+  std::uint64_t probes_sent = 0;  ///< measurement stage only
+  /// Most full BlockResults resident at once, and the configured cap.
+  std::size_t peak_inflight_results = 0;
+  std::size_t inflight_bound = 0;
+  /// Probe→aggregate queue telemetry (backpressure visibility).
+  common::QueueCounters results_queue;
+  std::size_t publishes = 0;        ///< total snapshot publishes
+  std::size_t delta_publishes = 0;  ///< of which HSPT patches
+  std::uint64_t delta_entries = 0;  ///< cumulative patch upserts+removes
+  std::size_t publish_failures = 0; ///< store rejected a publish (bug)
+  /// verify_full_reference: publishes whose served bytes differed from
+  /// the full recompile.  Anything nonzero is a delta-path bug.
+  std::size_t reference_mismatches = 0;
+  double measurement_seconds = 0.0;
+};
+
+/// The compact per-/24 outcome the aggregator retains (observations are
+/// dropped at consumption — that is the whole point).
+struct StreamRecord {
+  netsim::Prefix prefix;
+  core::Classification classification = core::Classification::kTooFewActive;
+  int probes_used = 0;
+};
+
+struct StreamResult {
+  /// Every measured /24, sorted by prefix.
+  std::vector<StreamRecord> records;
+  /// Identical-last-hop aggregates of the final state, in
+  /// cluster::AggregateIdentical's canonical order.
+  std::vector<cluster::AggregateBlock> blocks;
+  /// Tally per core::Classification value.
+  std::array<std::size_t, 5> classification_counts{};
+  /// The final published snapshot (HSNP bytes).  With a store attached
+  /// this is what the store serves after the last publish; without one
+  /// it is compiled directly.
+  std::vector<std::byte> final_snapshot;
+  StreamStats stats;
+};
+
+/// Runs a full streaming campaign over `internet`'s study universe.
+/// Deterministic in (config.seed, world, segment/churn schedule); the
+/// records, blocks and final snapshot are invariant under thread count
+/// and queue timing.
+StreamResult RunStreamCampaign(const netsim::Internet& internet,
+                               const StreamConfig& config);
+
+/// Route churn for streaming experiments: rotates the next-hop order of
+/// up to `flips` randomly chosen multi-path FIB entries (a new preferred
+/// path, as after a reroute), bumping Topology::mutation_epoch via the
+/// mutable accessors.  Returns how many entries were actually flipped
+/// (0 when the topology has no ECMP entries).
+std::size_t InjectRouteChurn(netsim::Topology& topology, netsim::Rng& rng,
+                             std::size_t flips = 4);
+
+}  // namespace hobbit::stream

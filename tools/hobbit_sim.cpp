@@ -17,6 +17,10 @@
 //   hobbit_sim export-snapshot --out FILE [--blocks FILE [--results FILE]]
 //                         [--seed N] [--scale S] [--threads T] [--mcl]
 //                         [--epoch E]
+//   hobbit_sim stream-campaign [--seed N] [--scale S] [--threads T]
+//                         [--window W] [--segment B] [--publish-every K]
+//                         [--churn-every M] [--verify] [--out FILE]
+//                         [--epoch E]
 
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +40,8 @@
 #include "netsim/rdns.h"
 #include "probing/traceroute.h"
 #include "serve/snapshot.h"
+#include "serve/store.h"
+#include "stream/stream.h"
 
 namespace {
 
@@ -62,7 +68,7 @@ Args ParseArgs(int argc, char** argv) {
     if (token.rfind("--", 0) == 0) {
       std::string name = token.substr(2);
       // Boolean flags take no value; value flags consume the next token.
-      if (name == "mcl") {
+      if (name == "mcl" || name == "mda" || name == "verify") {
         args.flags[name] = "1";
       } else if (i + 1 < argc) {
         args.flags[name] = argv[++i];
@@ -97,7 +103,10 @@ int Usage() {
       "  lookup     <prefix/24> --blocks FILE\n"
       "  export-snapshot --out FILE [--blocks FILE [--results FILE]]\n"
       "             [--seed N] [--scale S] [--threads T] [--mcl]\n"
-      "             [--epoch E]\n";
+      "             [--epoch E]\n"
+      "  stream-campaign [--seed N] [--scale S] [--threads T]\n"
+      "             [--window W] [--segment B] [--publish-every K]\n"
+      "             [--churn-every M] [--verify] [--out FILE] [--epoch E]\n";
   return 2;
 }
 
@@ -446,6 +455,99 @@ int CmdExportSnapshot(const Args& args) {
   return 0;
 }
 
+// The streaming campaign: bounded-memory probing with live delta
+// publishing into an in-process SnapshotStore, optional route churn
+// between probe waves (--churn-every M flips ECMP orders every M
+// blocks), and the delta-vs-full differential check (--verify).
+int CmdStreamCampaign(const Args& args) {
+  netsim::Internet internet = BuildWorld(args);
+  common::ThreadPool pool(std::atoi(args.Get("threads", "1").c_str()));
+  serve::SnapshotStore store;
+
+  stream::StreamConfig config;
+  config.seed = std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+  config.pool = &pool;
+  config.window = std::strtoull(args.Get("window", "256").c_str(), nullptr, 10);
+  config.segment =
+      std::strtoull(args.Get("segment", "0").c_str(), nullptr, 10);
+  config.publish_every =
+      std::strtoull(args.Get("publish-every", "0").c_str(), nullptr, 10);
+  config.epoch_base =
+      std::strtoull(args.Get("epoch", "1").c_str(), nullptr, 10);
+  config.store = &store;
+  config.verify_full_reference = args.Has("verify");
+
+  const std::size_t churn_every =
+      std::strtoull(args.Get("churn-every", "0").c_str(), nullptr, 10);
+  netsim::Rng churn_rng = netsim::Rng(config.seed).Fork(0xC4024ULL);
+  std::size_t churn_flips = 0;
+  if (churn_every > 0) {
+    if (config.segment == 0 || config.segment > churn_every) {
+      config.segment = churn_every;
+    }
+    config.on_segment_boundary = [&](std::size_t) {
+      churn_flips +=
+          stream::InjectRouteChurn(internet.topology, churn_rng, 4);
+    };
+  }
+  const std::uint64_t epoch_before = internet.topology.mutation_epoch();
+
+  stream::StreamResult result = stream::RunStreamCampaign(internet, config);
+  const stream::StreamStats& stats = result.stats;
+
+  analysis::TextTable table({"class", "count"});
+  for (std::size_t c = 0; c < result.classification_counts.size(); ++c) {
+    table.AddRow({core::ToString(static_cast<core::Classification>(c)),
+                  std::to_string(result.classification_counts[c])});
+  }
+  table.Print(std::cout);
+  std::cout << "measured /24s:      " << stats.measured_24s << "\n"
+            << "aggregated blocks:  " << result.blocks.size() << "\n"
+            << "probes sent:        " << stats.probes_sent << "\n"
+            << "peak in-flight:     " << stats.peak_inflight_results
+            << " (bound " << stats.inflight_bound << ")\n"
+            << "queue:              pushed=" << stats.results_queue.pushed
+            << " push_waits=" << stats.results_queue.push_waits
+            << " pop_waits=" << stats.results_queue.pop_waits
+            << " peak_depth=" << stats.results_queue.peak_depth << "\n"
+            << "publishes:          " << stats.publishes << " ("
+            << stats.delta_publishes << " delta, "
+            << stats.delta_entries << " patched entries)\n";
+  if (churn_every > 0) {
+    std::cout << "route churn:        " << churn_flips
+              << " flips (topology mutation epoch "
+              << epoch_before << " -> "
+              << internet.topology.mutation_epoch() << ")\n";
+  }
+  if (config.verify_full_reference) {
+    std::cout << "delta-vs-full:      "
+              << (stats.reference_mismatches == 0 ? "identical"
+                                                  : "MISMATCH")
+              << " (" << stats.publishes << " publishes checked)\n";
+  }
+  if (stats.publish_failures > 0 || stats.reference_mismatches > 0) {
+    std::cerr << "stream publish failures: " << stats.publish_failures
+              << ", reference mismatches: " << stats.reference_mismatches
+              << "\n";
+    return 1;
+  }
+  if (args.Has("out")) {
+    std::ofstream out(args.Get("out", ""), std::ios::binary);
+    if (!out ||
+        !out.write(
+            reinterpret_cast<const char*>(result.final_snapshot.data()),
+            static_cast<std::streamsize>(result.final_snapshot.size()))) {
+      std::cerr << "cannot write --out file\n";
+      return 1;
+    }
+    std::cout << "final snapshot (" << result.final_snapshot.size()
+              << " bytes, epoch "
+              << config.epoch_base + stats.publishes - 1 << ") -> "
+              << args.Get("out", "") << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -459,5 +561,6 @@ int main(int argc, char** argv) {
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "lookup") return CmdLookup(args);
   if (args.command == "export-snapshot") return CmdExportSnapshot(args);
+  if (args.command == "stream-campaign") return CmdStreamCampaign(args);
   return Usage();
 }
