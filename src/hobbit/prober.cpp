@@ -79,7 +79,9 @@ void MergeLastHops(std::vector<netsim::Ipv4Address>& set,
 BlockResult BlockProber::ProbeBlock(const probing::ZmapBlock& block,
                                     netsim::Rng rng) {
   probing::LastHopProber prober(simulator_,
-                                options_.route_memo ? &memo_ : nullptr);
+                                options_.route_memo ? &memo_ : nullptr,
+                                options_.mda_lite ? probing::MdaMode::kLite
+                                                  : probing::MdaMode::kFull);
   BlockResult result = ProbeBlockImpl(block, rng, prober);
   // Sole accounting point: every termination path of the impl lands here,
   // so probes_used is recorded exactly once per block.
@@ -242,7 +244,9 @@ FullyProbedBlock BlockProber::ProbeBlockFully(const probing::ZmapBlock& block,
 
   DestinationSchedule schedule(block, rng.Fork(0xF0BBULL));
   probing::LastHopProber prober(simulator_,
-                                options_.route_memo ? &memo_ : nullptr);
+                                options_.route_memo ? &memo_ : nullptr,
+                                options_.mda_lite ? probing::MdaMode::kLite
+                                                  : probing::MdaMode::kFull);
   std::vector<netsim::Ipv4Address> union_set;
   while (auto destination = schedule.Next()) {
     probing::LastHopResult lh = prober.Probe(*destination);

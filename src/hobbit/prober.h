@@ -50,6 +50,12 @@ struct ProberOptions {
   /// Memoize FIB resolutions across a prober's probes (route_memo.h).
   /// Probe replies are bit-identical either way; toggleable likewise.
   bool route_memo = true;
+  /// Enumerate last-hop interfaces under the MDA-Lite 90 % stopping rule
+  /// (probing::MdaLiteProbeCount) instead of full MDA — cheaper per
+  /// destination, may miss interfaces of wide hops.  Off by default; the
+  /// full-MDA path is the differential reference (bench_scenario sweeps
+  /// the accuracy-vs-cost trade-off).
+  bool mda_lite = false;
 };
 
 /// Probes /24 blocks through a Simulator.  The confidence table may be

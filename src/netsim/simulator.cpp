@@ -189,10 +189,22 @@ int Simulator::ReverseHops(Ipv4Address destination, int forward_hops) const {
 
 ProbeReply Simulator::Send(const ProbeSpec& probe, RouteMemo* memo) const {
   probes_sent_.fetch_add(1, std::memory_order_relaxed);
+  ArtifactContext context;
+  ProbeReply reply = SendImpl(probe, memo, &context.path_length);
+  // The single artifact application point: every termination path of
+  // SendImpl (unroutable, silent router, TTL exceeded, inactive host,
+  // outage, echo) flows through here exactly once.
+  if (artifacts_ != nullptr) artifacts_->Rewrite(probe, context, reply);
+  return reply;
+}
+
+ProbeReply Simulator::SendImpl(const ProbeSpec& probe, RouteMemo* memo,
+                               int* path_length_out) const {
   RouterId expiring = kNoRouter;
   const int path_length = WalkForward(probe.destination, probe.flow_id,
                                       probe.serial, memo, probe.ttl,
                                       &expiring);
+  *path_length_out = path_length;
   if (path_length == 0) return {};  // unroutable: timeout
 
   // The destination host sits one hop beyond the last router, so the

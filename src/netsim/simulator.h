@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "netsim/artifacts.h"
 #include "netsim/host_model.h"
 #include "netsim/ipv4.h"
 #include "netsim/outage.h"
@@ -108,6 +109,17 @@ class Simulator {
   /// downed prefix stop answering echo probes.  The overlay must outlive
   /// its installation.
   void SetOutageOverlay(const OutageOverlay* overlay) { outage_ = overlay; }
+
+  /// Installs (or clears, with nullptr) a measurement-artifact hook:
+  /// every Send reply is routed through ReplyArtifacts::Rewrite before
+  /// the caller sees it (see artifacts.h for the determinism contract).
+  /// The hook must outlive its installation; install/clear only while no
+  /// probe is in flight.
+  void SetReplyArtifacts(const ReplyArtifacts* artifacts) {
+    artifacts_ = artifacts;
+  }
+  const ReplyArtifacts* reply_artifacts() const { return artifacts_; }
+
   const HostModel& host_model() const { return host_model_; }
   const RttModel& rtt_model() const { return rtt_model_; }
   Ipv4Address source_address() const { return source_address_; }
@@ -140,6 +152,13 @@ class Simulator {
                   RouterId* at_hop,
                   std::vector<RouterId>* full_path = nullptr) const;
 
+  /// Send minus the probe counter and the artifact hook: computes the
+  /// clean reply and reports the walk's path length (0 = unroutable) for
+  /// the hook's ArtifactContext.  Every return path of Send funnels
+  /// through exactly one Rewrite application in Send itself.
+  ProbeReply SendImpl(const ProbeSpec& probe, RouteMemo* memo,
+                      int* path_length_out) const;
+
   bool RouterResponds(RouterId router, Ipv4Address destination) const;
 
   int ReverseHops(Ipv4Address destination, int forward_hops) const;
@@ -154,6 +173,7 @@ class Simulator {
   // every forwarding-time hash starts from this state (see StableHashFrom).
   std::uint64_t seed_hash_state_;
   const OutageOverlay* outage_ = nullptr;
+  const ReplyArtifacts* artifacts_ = nullptr;
   mutable std::atomic<std::uint64_t> probes_sent_{0};
 };
 

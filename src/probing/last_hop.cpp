@@ -85,7 +85,7 @@ LastHopResult LastHopProber::Probe(netsim::Ipv4Address destination) {
   }
   HopInterfaces last = EnumerateHopInterfaces(
       *simulator_, destination, host_hop - 1, serial_,
-      /*max_interfaces_hint=*/16, memo_);
+      /*max_interfaces_hint=*/16, memo_, mda_);
   result.probes_used = static_cast<int>(serial_ - serial_before);
   if (last.interfaces.empty()) {
     result.status = LastHopStatus::kLastHopUnresponsive;

@@ -17,6 +17,7 @@
 #include "common/small_vector.h"
 #include "netsim/ipv4.h"
 #include "netsim/simulator.h"
+#include "probing/traceroute.h"
 
 namespace hobbit::probing {
 
@@ -55,9 +56,12 @@ constexpr int InferDefaultTtl(int reply_ttl) {
 /// across the probes; results are identical with and without one.
 class LastHopProber {
  public:
+  /// `mda` selects the stopping rule of step 4's interface enumeration
+  /// (full MDA by default; MdaMode::kLite for the cheaper 90 % rule).
   explicit LastHopProber(const netsim::Simulator* simulator,
-                         netsim::RouteMemo* memo = nullptr)
-      : simulator_(simulator), memo_(memo) {}
+                         netsim::RouteMemo* memo = nullptr,
+                         MdaMode mda = MdaMode::kFull)
+      : simulator_(simulator), memo_(memo), mda_(mda) {}
 
   LastHopResult Probe(netsim::Ipv4Address destination);
 
@@ -66,6 +70,7 @@ class LastHopProber {
  private:
   const netsim::Simulator* simulator_;
   netsim::RouteMemo* memo_;
+  MdaMode mda_;
   std::uint64_t serial_ = 1;
 };
 

@@ -44,6 +44,19 @@ int MdaProbeCount(int k) {
   return static_cast<int>(std::ceil(n));
 }
 
+int MdaLiteProbeCount(int k) {
+  // smallest n with (k/(k+1))^n < 0.1 — the 90 % bound without the
+  // union correction, precomputed for the k the hop walks actually see.
+  static constexpr int kTable[] = {0,  4,  6,  9,  11, 13, 15, 18, 20,
+                                   22, 25, 27, 29, 32, 34, 36, 38};
+  constexpr int kTableMax = static_cast<int>(std::size(kTable)) - 1;
+  if (k <= 0) return kTable[1];
+  if (k <= kTableMax) return kTable[k];
+  double n = std::log(0.1) /
+             std::log(static_cast<double>(k) / (k + 1));
+  return static_cast<int>(std::ceil(n));
+}
+
 Route ParisTraceroute(const netsim::Simulator& simulator,
                       netsim::Ipv4Address destination, std::uint16_t flow_id,
                       std::uint64_t& serial, const TracerouteOptions& options) {
@@ -114,7 +127,7 @@ HopInterfaces EnumerateHopInterfaces(const netsim::Simulator& simulator,
                                      netsim::Ipv4Address destination, int ttl,
                                      std::uint64_t& serial,
                                      int max_interfaces_hint,
-                                     netsim::RouteMemo* memo) {
+                                     netsim::RouteMemo* memo, MdaMode mode) {
   HopInterfaces result;
   int since_new = 0;
   std::uint16_t flow = 1;
@@ -139,7 +152,9 @@ HopInterfaces EnumerateHopInterfaces(const netsim::Simulator& simulator,
     }
     since_new = is_new ? 0 : since_new + 1;
     int k = std::max<int>(1, static_cast<int>(result.interfaces.size()));
-    if (since_new >= MdaProbeCount(k)) break;
+    const int stop = mode == MdaMode::kLite ? MdaLiteProbeCount(k)
+                                            : MdaProbeCount(k);
+    if (since_new >= stop) break;
     if (static_cast<int>(result.interfaces.size()) >= max_interfaces_hint) {
       break;
     }

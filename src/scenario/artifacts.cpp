@@ -1,0 +1,174 @@
+#include "scenario/artifacts.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hobbit::scenario {
+namespace {
+
+// Distinct salts per artifact so the draws are independent streams of
+// one seed.
+constexpr std::uint64_t kLossSalt = 0x10555ULL;
+constexpr std::uint64_t kRateLimitSalt = 0x5113ECEULL;
+constexpr std::uint64_t kLoopSelectSalt = 0x100D5E1ULL;
+constexpr std::uint64_t kLoopShapeSalt = 0x100D5A9ULL;
+
+// Synthetic loop routers live in 198.18.0.0/15 (RFC 2544 benchmarking
+// space — guaranteed disjoint from the generated topology's address
+// plan), one small cycle per looped destination.
+constexpr std::uint32_t kLoopBase = 0xC6120000u;  // 198.18.0.0
+constexpr std::uint32_t kLoopSpan = 0x0001FFFFu;  // within the /15
+
+}  // namespace
+
+ArtifactInjector::ArtifactInjector(const ArtifactConfig& config)
+    : config_(config),
+      seed_hash_state_(
+          netsim::StableHashFrom(netsim::kStableHashInit, {config.seed})) {}
+
+InjectorCounters ArtifactInjector::counters() const {
+  InjectorCounters counters;
+  counters.probe_losses = probe_losses_.load(std::memory_order_relaxed);
+  counters.rate_limit_silences =
+      rate_limit_silences_.load(std::memory_order_relaxed);
+  counters.loop_rewrites = loop_rewrites_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void ArtifactInjector::Rewrite(const netsim::ProbeSpec& probe,
+                               const netsim::ArtifactContext& context,
+                               netsim::ProbeReply& reply) const {
+  const std::uint64_t dst = probe.destination.value();
+
+  // 1. Forwarding loop: a per-destination cycle starting at a
+  //    deterministic onset hop.  Only destinations whose true path
+  //    reaches the onset can loop there; every probe with ttl >= onset
+  //    then sees the cycle instead of the path suffix (the destination
+  //    becomes unreachable, as under a real loop).  Probes below the
+  //    onset keep their true-prefix replies, and unroutable
+  //    destinations (path_length 0) stay plain timeouts.
+  if (config_.p_loop > 0.0 && context.path_length > 0) {
+    const std::uint64_t select =
+        netsim::StableHashFrom(seed_hash_state_, {dst, kLoopSelectSalt});
+    if (netsim::HashToUnit(select) < config_.p_loop) {
+      const int span =
+          std::max(1, config_.loop_onset_max - config_.loop_onset_min + 1);
+      const std::uint64_t shape =
+          netsim::StableHashFrom(seed_hash_state_, {dst, kLoopShapeSalt});
+      const int onset =
+          config_.loop_onset_min + static_cast<int>(shape % span);
+      if (context.path_length >= onset && probe.ttl >= onset) {
+        const int cycle = 2 + static_cast<int>((shape >> 32) % 2);
+        const std::uint32_t cycle_base =
+            static_cast<std::uint32_t>(select >> 16) & kLoopSpan;
+        const int position = (probe.ttl - onset) % cycle;
+        reply.kind = netsim::ReplyKind::kTtlExceeded;
+        reply.responder = netsim::Ipv4Address(
+            kLoopBase | ((cycle_base + static_cast<std::uint32_t>(position)) &
+                         kLoopSpan));
+        reply.hop = probe.ttl;
+        reply.reply_ttl = 255 - probe.ttl;
+        reply.rtt_ms = 5.0 + static_cast<double>(probe.ttl);
+        loop_rewrites_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // 2. Rate-limit silence: one draw per (router, destination) episode —
+  //    deliberately serial-free, like the simulator's own bursty
+  //    RouterResponds — so a limited hop stays an anonymous "*" for the
+  //    whole enumeration of that destination.
+  if (config_.p_rate_limit > 0.0 &&
+      reply.kind == netsim::ReplyKind::kTtlExceeded) {
+    const std::uint64_t h = netsim::StableHashFrom(
+        seed_hash_state_, {reply.responder.value(), dst, kRateLimitSalt});
+    if (netsim::HashToUnit(h) < config_.p_rate_limit) {
+      reply = netsim::ProbeReply{};
+      rate_limit_silences_.fetch_add(1, std::memory_order_relaxed);
+      return;  // nothing left to lose
+    }
+  }
+
+  // 3. Per-packet probe loss: i.i.d. across packets (the serial is in
+  //    the hash), so retransmissions and repeat flows draw fresh.
+  if (config_.p_probe_loss > 0.0 &&
+      reply.kind != netsim::ReplyKind::kTimeout) {
+    const std::uint64_t h = netsim::StableHashFrom(
+        seed_hash_state_,
+        {dst, static_cast<std::uint64_t>(probe.ttl), probe.flow_id,
+         probe.serial, kLossSalt});
+    if (netsim::HashToUnit(h) < config_.p_probe_loss) {
+      reply = netsim::ProbeReply{};
+      probe_losses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t InjectRouteChurn(netsim::Topology& topology, netsim::Rng& rng,
+                             std::size_t flips) {
+  const std::size_t routers = topology.router_count();
+  if (routers == 0) return 0;
+  const netsim::Topology& view = topology;  // const reads don't bump epochs
+  std::size_t applied = 0;
+  for (std::size_t f = 0; f < flips; ++f) {
+    bool flipped = false;
+    for (std::size_t attempt = 0; attempt < 32 && !flipped; ++attempt) {
+      const auto id = static_cast<netsim::RouterId>(rng.NextBelow(routers));
+      const std::vector<netsim::FibEntry>& entries =
+          view.router(id).fib.entries();
+      if (entries.empty()) continue;
+      const std::size_t start = rng.NextBelow(entries.size());
+      for (std::size_t k = 0; k < entries.size(); ++k) {
+        const netsim::FibEntry& entry = entries[(start + k) % entries.size()];
+        if (entry.group.next_hops.size() < 2) continue;
+        // Copy before the mutable re-Add: Fib::Add may reallocate the
+        // entry storage `entry` points into.
+        const netsim::Prefix prefix = entry.prefix;
+        netsim::EcmpGroup group = entry.group;
+        std::rotate(group.next_hops.begin(), group.next_hops.begin() + 1,
+                    group.next_hops.end());
+        topology.router(id).fib.Add(prefix, std::move(group));
+        ++applied;
+        flipped = true;
+        break;
+      }
+    }
+  }
+  return applied;
+}
+
+std::size_t ReconfigureLoadBalancers(netsim::Topology& topology,
+                                     netsim::Rng& rng, std::size_t groups,
+                                     netsim::LbPolicy policy) {
+  const std::size_t routers = topology.router_count();
+  if (routers == 0) return 0;
+  const netsim::Topology& view = topology;  // const reads don't bump epochs
+  std::size_t applied = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    bool switched = false;
+    for (std::size_t attempt = 0; attempt < 32 && !switched; ++attempt) {
+      const auto id = static_cast<netsim::RouterId>(rng.NextBelow(routers));
+      const std::vector<netsim::FibEntry>& entries =
+          view.router(id).fib.entries();
+      if (entries.empty()) continue;
+      const std::size_t start = rng.NextBelow(entries.size());
+      for (std::size_t k = 0; k < entries.size(); ++k) {
+        const netsim::FibEntry& entry = entries[(start + k) % entries.size()];
+        if (entry.group.next_hops.size() < 2 ||
+            entry.group.policy == policy) {
+          continue;
+        }
+        const netsim::Prefix prefix = entry.prefix;
+        netsim::EcmpGroup group = entry.group;
+        group.policy = policy;
+        topology.router(id).fib.Add(prefix, std::move(group));
+        ++applied;
+        switched = true;
+        break;
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace hobbit::scenario

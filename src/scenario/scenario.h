@@ -1,0 +1,121 @@
+// scenario.h — declarative, seed-reproducible adversity schedules.
+//
+// A ScenarioSpec is a script run against a campaign: reply-side artifact
+// intensities (artifacts.h) that hold for the whole run, plus a list of
+// events keyed by *wave index* — the same segment boundaries the
+// streaming driver already exposes (stream.h's on_segment_boundary).
+// Wave 0 fires before the campaign's setup stages, so the snapshot and
+// calibration see the already-adverse world; waves 1, 2, ... fire
+// between measurement waves of `segment` blocks, with no probe in
+// flight.
+//
+// Because both runners — RunScenarioPipeline (batch, below) and
+// RunScenarioStream (scenario_stream.h) — apply the same events at the
+// same boundaries with RNGs forked per (seed, wave, event index), a
+// scenario campaign is bit-identical across the two modes and across
+// thread counts, exactly like the clean pipeline.  An empty spec with
+// zero intensities reproduces core::RunPipeline bit for bit (the
+// zero-intensity differential gate in tests/test_scenario.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hobbit/pipeline.h"
+#include "netsim/internet.h"
+#include "netsim/outage.h"
+#include "scenario/artifacts.h"
+
+namespace hobbit::scenario {
+
+enum class ScenarioAction : std::uint8_t {
+  kRouteChurn,       ///< InjectRouteChurn(count) — reroutes
+  kLbReconfigure,    ///< ReconfigureLoadBalancers(count, policy)
+  kOutageStart,      ///< prefix goes dark (OutageOverlay)
+  kOutageEnd,        ///< prefix recovers
+};
+
+struct ScenarioEvent {
+  ScenarioAction action = ScenarioAction::kRouteChurn;
+  /// Wave the event fires at: 0 = before setup, k >= 1 = the boundary
+  /// before measurement wave k.
+  std::size_t wave = 0;
+  /// 0 = fire once at `wave`; r > 0 = fire at wave, wave + r, wave + 2r,
+  /// ... (recurring churn is the common case).
+  std::size_t repeat = 0;
+  /// Flip/switch count for kRouteChurn / kLbReconfigure.
+  std::size_t count = 4;
+  /// Target policy for kLbReconfigure (kPerPacket = false links).
+  netsim::LbPolicy policy = netsim::LbPolicy::kPerPacket;
+  /// Affected prefix for kOutageStart / kOutageEnd.
+  netsim::Prefix prefix;
+};
+
+struct ScenarioSpec {
+  /// Seeds the injector hashes and the per-event mutation RNGs
+  /// (independent of the campaign seed, so the same adversity can be
+  /// replayed under different measurement seeds).
+  std::uint64_t seed = 1;
+  ArtifactConfig artifacts;
+  /// Blocks per measurement wave; 0 = a single wave (events beyond wave
+  /// 0 then never fire).  Mirrors stream::StreamConfig::segment.
+  std::size_t segment = 0;
+  std::vector<ScenarioEvent> events;
+};
+
+/// What the scenario actually did to the run.
+struct ScenarioStats {
+  InjectorCounters injector;
+  std::size_t events_fired = 0;
+  std::size_t churn_flips = 0;
+  std::size_t lb_reconfigured = 0;
+  std::size_t outage_starts = 0;
+  std::size_t outage_ends = 0;
+  std::size_t waves = 0;  ///< measurement waves driven (batch runner)
+};
+
+/// Owns a scenario's runtime state against one Internet: installs the
+/// ArtifactInjector and an OutageOverlay on the primary simulator at
+/// construction, applies events at wave boundaries, and uninstalls both
+/// on destruction.  Single-threaded use; ApplyWave must only run while
+/// no probe is in flight (both runners guarantee that).
+class ScenarioDriver {
+ public:
+  ScenarioDriver(netsim::Internet& internet, const ScenarioSpec& spec);
+  ~ScenarioDriver();
+
+  ScenarioDriver(const ScenarioDriver&) = delete;
+  ScenarioDriver& operator=(const ScenarioDriver&) = delete;
+
+  /// Fires every event due at `wave` (in spec order; each event's RNG is
+  /// forked from (seed, wave, event index), so firing is reproducible
+  /// regardless of what else the schedule contains).
+  void ApplyWave(std::size_t wave);
+
+  /// Counters so far (injector tallies are read live).
+  ScenarioStats stats() const;
+  ScenarioStats* mutable_stats() { return &stats_; }
+
+ private:
+  void RebuildOverlay();
+
+  netsim::Internet& internet_;
+  ScenarioSpec spec_;
+  ArtifactInjector injector_;
+  netsim::OutageOverlay overlay_;
+  std::vector<netsim::Prefix> active_outages_;
+  ScenarioStats stats_;
+};
+
+/// The batch pipeline under a scenario: PrepareCampaign on the
+/// wave-0-adverse world, then the main measurement driven wave by wave
+/// (same indices, same MeasurementRng forks as core::RunPipeline and the
+/// streaming driver) with ApplyWave between waves.  With an empty spec
+/// the result is bit-identical to core::RunPipeline(internet, config).
+core::PipelineResult RunScenarioPipeline(netsim::Internet& internet,
+                                         const core::PipelineConfig& config,
+                                         const ScenarioSpec& spec,
+                                         ScenarioStats* stats = nullptr);
+
+}  // namespace hobbit::scenario

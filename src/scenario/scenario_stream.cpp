@@ -1,0 +1,29 @@
+#include "scenario/scenario_stream.h"
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace hobbit::scenario {
+
+stream::StreamResult RunScenarioStream(netsim::Internet& internet,
+                                       stream::StreamConfig config,
+                                       const ScenarioSpec& spec,
+                                       ScenarioStats* stats_out) {
+  ScenarioDriver driver(internet, spec);
+  driver.ApplyWave(0);
+
+  if (spec.segment != 0) config.segment = spec.segment;
+  std::function<void(std::size_t)> chained =
+      std::move(config.on_segment_boundary);
+  config.on_segment_boundary = [&driver, chained](std::size_t wave) {
+    driver.ApplyWave(wave);
+    if (chained) chained(wave);
+  };
+
+  stream::StreamResult result = stream::RunStreamCampaign(internet, config);
+  if (stats_out != nullptr) *stats_out = driver.stats();
+  return result;
+}
+
+}  // namespace hobbit::scenario

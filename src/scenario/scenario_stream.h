@@ -1,0 +1,26 @@
+// scenario_stream.h — scenario schedules under the streaming campaign.
+//
+// Thin composition: a ScenarioDriver wrapped around
+// stream::RunStreamCampaign, with the spec's events wired into the
+// stream's segment-boundary callback.  Wave numbering is shared with the
+// batch runner (wave 0 before setup, k >= 1 between waves of
+// spec.segment blocks), so a streaming scenario campaign classifies
+// every /24 bit-identically to RunScenarioPipeline under the same spec —
+// the cross-mode differential gate in tests/test_scenario.cpp.
+#pragma once
+
+#include "scenario/scenario.h"
+#include "stream/stream.h"
+
+namespace hobbit::scenario {
+
+/// Runs a streaming campaign under `spec`.  The spec's segment overrides
+/// config.segment (they must describe the same wave grid); a caller-set
+/// config.on_segment_boundary still fires, after the scenario events of
+/// that boundary.
+stream::StreamResult RunScenarioStream(netsim::Internet& internet,
+                                       stream::StreamConfig config,
+                                       const ScenarioSpec& spec,
+                                       ScenarioStats* stats = nullptr);
+
+}  // namespace hobbit::scenario

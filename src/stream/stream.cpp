@@ -255,37 +255,4 @@ StreamResult RunStreamCampaign(const netsim::Internet& internet,
   return result;
 }
 
-std::size_t InjectRouteChurn(netsim::Topology& topology, netsim::Rng& rng,
-                             std::size_t flips) {
-  const std::size_t routers = topology.router_count();
-  if (routers == 0) return 0;
-  const netsim::Topology& view = topology;  // const reads don't bump epochs
-  std::size_t applied = 0;
-  for (std::size_t f = 0; f < flips; ++f) {
-    bool flipped = false;
-    for (std::size_t attempt = 0; attempt < 32 && !flipped; ++attempt) {
-      const auto id = static_cast<netsim::RouterId>(rng.NextBelow(routers));
-      const std::vector<netsim::FibEntry>& entries =
-          view.router(id).fib.entries();
-      if (entries.empty()) continue;
-      const std::size_t start = rng.NextBelow(entries.size());
-      for (std::size_t k = 0; k < entries.size(); ++k) {
-        const netsim::FibEntry& entry = entries[(start + k) % entries.size()];
-        if (entry.group.next_hops.size() < 2) continue;
-        // Copy before the mutable re-Add: Fib::Add may reallocate the
-        // entry storage `entry` points into.
-        const netsim::Prefix prefix = entry.prefix;
-        netsim::EcmpGroup group = entry.group;
-        std::rotate(group.next_hops.begin(), group.next_hops.begin() + 1,
-                    group.next_hops.end());
-        topology.router(id).fib.Add(prefix, std::move(group));
-        ++applied;
-        flipped = true;
-        break;
-      }
-    }
-  }
-  return applied;
-}
-
 }  // namespace hobbit::stream

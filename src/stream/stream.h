@@ -54,6 +54,7 @@
 #include "common/bounded_queue.h"
 #include "hobbit/pipeline.h"
 #include "netsim/internet.h"
+#include "scenario/artifacts.h"
 #include "serve/store.h"
 
 namespace hobbit::stream {
@@ -146,12 +147,9 @@ struct StreamResult {
 StreamResult RunStreamCampaign(const netsim::Internet& internet,
                                const StreamConfig& config);
 
-/// Route churn for streaming experiments: rotates the next-hop order of
-/// up to `flips` randomly chosen multi-path FIB entries (a new preferred
-/// path, as after a reroute), bumping Topology::mutation_epoch via the
-/// mutable accessors.  Returns how many entries were actually flipped
-/// (0 when the topology has no ECMP entries).
-std::size_t InjectRouteChurn(netsim::Topology& topology, netsim::Rng& rng,
-                             std::size_t flips = 4);
+/// Route churn now lives with the other world mutators in the scenario
+/// subsystem (scenario/artifacts.h); re-exported here for existing
+/// streaming callers.
+using scenario::InjectRouteChurn;
 
 }  // namespace hobbit::stream

@@ -83,6 +83,63 @@ TEST(BoundedQueue, CloseDrainsThenEndsBothSides) {
   EXPECT_FALSE(queue.Pop().has_value());  // idempotent at the end
 }
 
+TEST(BoundedQueue, CapacityOneIsAStrictHandoff) {
+  common::BoundedQueue<int> queue(1);
+  constexpr int kItems = 64;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) EXPECT_TRUE(queue.Push(i));
+    queue.Close();
+  });
+  std::vector<int> got;
+  while (std::optional<int> item = queue.Pop()) got.push_back(*item);
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);
+  // One slot means at most one resident item, ever.
+  EXPECT_EQ(queue.counters().peak_depth, 1u);
+}
+
+TEST(BoundedQueue, CloseWhileManyProducersBlockedOnFull) {
+  common::BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(0));  // the ring is now full
+  constexpr int kProducers = 3;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      if (!queue.Push(100 + p)) rejected.fetch_add(1);
+    });
+  }
+  // Wait until every producer is actually parked on the full ring
+  // before closing, so Close must wake all of them.
+  while (queue.counters().push_waits <
+         static_cast<std::uint64_t>(kProducers)) {
+    std::this_thread::yield();
+  }
+  queue.Close();
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(rejected.load(), kProducers);
+  // The item accepted before Close still drains; nothing else does.
+  EXPECT_EQ(*queue.Pop(), 0);
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_EQ(queue.counters().pushed, 1u);
+}
+
+TEST(BoundedQueue, DrainAfterCloseKeepsOrderAndRejectsNewPushes) {
+  common::BoundedQueue<int> queue(4);
+  for (int i = 1; i <= 4; ++i) EXPECT_TRUE(queue.Push(i));
+  queue.Close();
+  EXPECT_EQ(*queue.Pop(), 1);
+  EXPECT_EQ(*queue.Pop(), 2);
+  // A Push attempted mid-drain is still rejected and must not corrupt
+  // the order of what remains.
+  EXPECT_FALSE(queue.Push(99));
+  EXPECT_EQ(*queue.Pop(), 3);
+  EXPECT_EQ(*queue.Pop(), 4);
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_EQ(queue.counters().popped, 4u);
+}
+
 TEST(BoundedQueue, CloseWakesBlockedProducer) {
   common::BoundedQueue<int> queue(1);
   EXPECT_TRUE(queue.Push(1));

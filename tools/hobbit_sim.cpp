@@ -21,6 +21,10 @@
 //                         [--window W] [--segment B] [--publish-every K]
 //                         [--churn-every M] [--verify] [--out FILE]
 //                         [--epoch E]
+//   hobbit_sim scenario   [--seed N] [--scale S] [--threads T]
+//                         [--loss P] [--ratelimit P] [--loops P]
+//                         [--churn N] [--perpacket N] [--outage PREFIX]
+//                         [--segment B] [--mda-lite] [--stream]
 
 #include <cstdlib>
 #include <fstream>
@@ -41,6 +45,8 @@
 #include "probing/traceroute.h"
 #include "serve/snapshot.h"
 #include "serve/store.h"
+#include "scenario/scenario.h"
+#include "scenario/scenario_stream.h"
 #include "stream/stream.h"
 
 namespace {
@@ -68,7 +74,8 @@ Args ParseArgs(int argc, char** argv) {
     if (token.rfind("--", 0) == 0) {
       std::string name = token.substr(2);
       // Boolean flags take no value; value flags consume the next token.
-      if (name == "mcl" || name == "mda" || name == "verify") {
+      if (name == "mcl" || name == "mda" || name == "verify" ||
+          name == "mda-lite" || name == "stream") {
         args.flags[name] = "1";
       } else if (i + 1 < argc) {
         args.flags[name] = argv[++i];
@@ -106,7 +113,11 @@ int Usage() {
       "             [--epoch E]\n"
       "  stream-campaign [--seed N] [--scale S] [--threads T]\n"
       "             [--window W] [--segment B] [--publish-every K]\n"
-      "             [--churn-every M] [--verify] [--out FILE] [--epoch E]\n";
+      "             [--churn-every M] [--verify] [--out FILE] [--epoch E]\n"
+      "  scenario   [--seed N] [--scale S] [--threads T]\n"
+      "             [--loss P] [--ratelimit P] [--loops P]\n"
+      "             [--churn N] [--perpacket N] [--outage PREFIX]\n"
+      "             [--segment B] [--mda-lite] [--stream]\n";
   return 2;
 }
 
@@ -548,6 +559,159 @@ int CmdStreamCampaign(const Args& args) {
   return 0;
 }
 
+// Robustness scenarios: run a campaign under deterministic measurement
+// artifacts (probe loss, rate-limit silence, forwarding loops), world
+// events (route churn, per-packet LB reconfiguration, outages) and/or
+// MDA-Lite probing, then diff the classifications against a clean
+// full-MDA baseline of the same world.
+int CmdScenario(const Args& args) {
+  const std::uint64_t seed =
+      std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+  const int threads = std::atoi(args.Get("threads", "1").c_str());
+
+  scenario::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.artifacts.seed = seed;
+  spec.artifacts.p_probe_loss = std::atof(args.Get("loss", "0").c_str());
+  spec.artifacts.p_rate_limit =
+      std::atof(args.Get("ratelimit", "0").c_str());
+  spec.artifacts.p_loop = std::atof(args.Get("loops", "0").c_str());
+  spec.segment = std::strtoull(args.Get("segment", "0").c_str(), nullptr, 10);
+
+  const std::size_t perpacket =
+      std::strtoull(args.Get("perpacket", "0").c_str(), nullptr, 10);
+  if (perpacket > 0) {
+    scenario::ScenarioEvent event;
+    event.action = scenario::ScenarioAction::kLbReconfigure;
+    event.wave = 0;
+    event.count = perpacket;
+    spec.events.push_back(event);
+  }
+  const std::size_t churn =
+      std::strtoull(args.Get("churn", "0").c_str(), nullptr, 10);
+  if (churn > 0) {
+    scenario::ScenarioEvent event;
+    event.action = scenario::ScenarioAction::kRouteChurn;
+    event.wave = 1;
+    event.repeat = 1;  // every boundary
+    event.count = churn;
+    spec.events.push_back(event);
+  }
+  if (args.Has("outage")) {
+    auto prefix = netsim::Prefix::Parse(args.Get("outage", ""));
+    if (!prefix) {
+      std::cerr << "cannot parse --outage prefix\n";
+      return 2;
+    }
+    scenario::ScenarioEvent start;
+    start.action = scenario::ScenarioAction::kOutageStart;
+    start.wave = 1;
+    start.prefix = *prefix;
+    spec.events.push_back(start);
+    scenario::ScenarioEvent end;
+    end.action = scenario::ScenarioAction::kOutageEnd;
+    end.wave = 3;
+    end.prefix = *prefix;
+    spec.events.push_back(end);
+  }
+  // Wave-keyed events need waves to exist: default to 64-block waves
+  // when a schedule was requested without an explicit --segment.
+  if (spec.segment == 0 && (churn > 0 || args.Has("outage"))) {
+    spec.segment = 64;
+  }
+
+  core::PipelineConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  config.prober.mda_lite = args.Has("mda-lite");
+
+  // Clean full-MDA baseline on a pristine copy of the same world
+  // (scenario events mutate the topology, so each run gets its own).
+  netsim::Internet baseline_world = BuildWorld(args);
+  core::PipelineConfig baseline_config = config;
+  baseline_config.prober.mda_lite = false;
+  core::PipelineResult baseline =
+      core::RunPipeline(baseline_world, baseline_config);
+
+  netsim::Internet world = BuildWorld(args);
+  std::map<std::uint32_t, std::pair<core::Classification, int>> scenario_by;
+  std::uint64_t scenario_probes = 0;
+  std::array<std::size_t, 5> counts{};
+  scenario::ScenarioStats stats;
+  if (args.Has("stream")) {
+    common::ThreadPool pool(threads);
+    stream::StreamConfig stream_config;
+    stream_config.seed = seed;
+    stream_config.pool = &pool;
+    stream_config.prober = config.prober;
+    stream::StreamResult streamed =
+        scenario::RunScenarioStream(world, stream_config, spec, &stats);
+    for (const stream::StreamRecord& record : streamed.records) {
+      scenario_by[record.prefix.base().value()] = {record.classification,
+                                                   record.probes_used};
+    }
+    counts = streamed.classification_counts;
+    scenario_probes =
+        streamed.stats.setup.probes_sent + streamed.stats.probes_sent;
+  } else {
+    core::PipelineResult run =
+        scenario::RunScenarioPipeline(world, config, spec, &stats);
+    for (const core::BlockResult& r : run.results) {
+      scenario_by[r.prefix.base().value()] = {r.classification,
+                                              r.probes_used};
+    }
+    counts = run.classification_counts();
+    scenario_probes = run.stats.probes_sent;
+  }
+
+  analysis::TextTable table({"class", "clean", "scenario"});
+  const std::array<std::size_t, 5> clean_counts =
+      baseline.classification_counts();
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    table.AddRow({core::ToString(static_cast<core::Classification>(c)),
+                  std::to_string(clean_counts[c]),
+                  std::to_string(counts[c])});
+  }
+  table.Print(std::cout);
+
+  std::size_t agree = 0, moved = 0, missing = 0;
+  for (const core::BlockResult& r : baseline.results) {
+    auto pos = scenario_by.find(r.prefix.base().value());
+    if (pos == scenario_by.end()) {
+      ++missing;
+    } else if (pos->second.first == r.classification) {
+      ++agree;
+    } else {
+      ++moved;
+    }
+  }
+  const std::size_t total = baseline.results.size();
+  std::cout << "clean baseline /24s: " << total << "\n"
+            << "agreement:           " << agree << "/" << total
+            << " (reclassified " << moved << ", not measured " << missing
+            << ")\n"
+            << "probes clean:        " << baseline.stats.probes_sent << "\n"
+            << "probes scenario:     " << scenario_probes << "\n";
+  const scenario::InjectorCounters injected = stats.injector;
+  std::cout << "artifacts:           loss=" << injected.probe_losses
+            << " ratelimit=" << injected.rate_limit_silences
+            << " loops=" << injected.loop_rewrites << "\n"
+            << "events:              " << stats.events_fired << " fired ("
+            << stats.churn_flips << " churn flips, "
+            << stats.lb_reconfigured << " LB groups reconfigured, "
+            << stats.outage_starts << " outages)\n";
+  if (args.Has("mda-lite")) {
+    const double savings =
+        baseline.stats.probes_sent == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(scenario_probes) /
+                        static_cast<double>(baseline.stats.probes_sent);
+    std::cout << "mda-lite probe savings vs full: "
+              << static_cast<int>(savings * 100.0) << "%\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -562,5 +726,6 @@ int main(int argc, char** argv) {
   if (args.command == "lookup") return CmdLookup(args);
   if (args.command == "export-snapshot") return CmdExportSnapshot(args);
   if (args.command == "stream-campaign") return CmdStreamCampaign(args);
+  if (args.command == "scenario") return CmdScenario(args);
   return Usage();
 }
