@@ -7,12 +7,17 @@
 // Correctness is part of the benchmark: for every (scale, thread count)
 // the fast and reference configurations must produce byte-identical
 // classification output (resultio v1 serialization), and a mismatch fails
-// the run loudly.  Two speedup gates guard regressions: the
-// single-thread fast-vs-reference ratio must clear `--require-speedup`
-// (default below), and on a machine with >= 4 cores the fast path at 4
-// threads must beat 1 thread (exit codes: 1 mismatch, 2 fast-path gate,
-// 3 thread-scaling gate).  The `perf` ctest label runs `--quick` (tiny
-// scale, threads {1,2,4}, well under 5 s).
+// the run loudly.  Speedup gates guard regressions: the single-thread
+// fast-vs-reference ratio must clear `--require-speedup` (default
+// below); on a machine with >= 4 cores the fast path at 4 threads must
+// beat 1 thread; and the similarity-graph build (flat inverted index +
+// arena segment chains) must beat its hash-map reference single-threaded
+// while producing element-identical edges.  Exit codes: 1 mismatch,
+// 2 fast-path gate, 3 thread-scaling gate, 4 similarity-graph gate,
+// 77 thread-scaling gate skipped (single-core machine: the report says
+// "skipped-1core" instead of letting the vacuous collapse floor count
+// as a pass).  The `perf` ctest label runs `--quick` (tiny scale,
+// threads {1,2,4}, well under 5 s).
 //
 // Results are also written to BENCH_pipeline.json via the JSON reporter
 // (schema: {bench, config, metrics{...}, commit}).
@@ -26,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/aggregate.h"
 #include "common.h"
 #include "hobbit/pipeline.h"
 #include "hobbit/resultio.h"
@@ -74,6 +80,61 @@ netsim::Internet BuildAt(double scale, std::uint64_t seed) {
   config.seed = seed;
   config.scale = scale;
   return netsim::BuildInternet(config);
+}
+
+bool SameGraph(const cluster::Graph& a, const cluster::Graph& b) {
+  if (a.vertex_count != b.vertex_count || a.edges.size() != b.edges.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    if (a.edges[i].a != b.edges[i].a || a.edges[i].b != b.edges[i].b ||
+        a.edges[i].weight != b.edges[i].weight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct GraphBuildRun {
+  double reference_seconds = 0.0;
+  double fast_seconds = 0.0;
+  bool identical = true;
+  double speedup() const { return reference_seconds / fast_seconds; }
+};
+
+/// Times BuildSimilarityGraph (flat sorted inverted index, arena-backed
+/// edge chains) against BuildSimilarityGraphReference (hash map +
+/// std::vector) single-threaded, repeated out of the noise floor.
+GraphBuildRun CompareGraphBuild(
+    std::span<const cluster::AggregateBlock> aggregates) {
+  GraphBuildRun run;
+  run.identical = SameGraph(cluster::BuildSimilarityGraph(aggregates),
+                            cluster::BuildSimilarityGraphReference(aggregates));
+  auto probe_start = std::chrono::steady_clock::now();
+  { cluster::Graph g = cluster::BuildSimilarityGraphReference(aggregates); }
+  const double once = std::max(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    probe_start)
+          .count(),
+      1e-6);
+  const int reps = std::clamp(static_cast<int>(0.3 / once), 3, 300);
+  auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    cluster::Graph g = cluster::BuildSimilarityGraphReference(aggregates);
+  }
+  run.reference_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count() /
+      reps;
+  start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    cluster::Graph g = cluster::BuildSimilarityGraph(aggregates);
+  }
+  run.fast_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count() /
+      reps;
+  return run;
 }
 
 }  // namespace
@@ -127,8 +188,9 @@ int main(int argc, char** argv) {
   // fast_1t / fast_4t wall time at the largest scale.
   double fast_1t_seconds = 0.0;
   double thread_scaling = 0.0;
+  netsim::Internet internet;  // survives the loop at the largest scale
   for (double scale : scales) {
-    netsim::Internet internet = BuildAt(scale, seed);
+    internet = BuildAt(scale, seed);
     std::printf("\nscale %.3g\n", scale);
     std::printf("%10s %10s %12s %12s %12s %9s %10s\n", "threads", "path",
                 "total[s]", "measure[s]", "probes/s", "blocks/s",
@@ -191,9 +253,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Similarity-graph build gate on the aggregates of the largest scale:
+  // the flat-index + arena build must emit element-identical edges and
+  // beat the hash-map reference single-threaded.
+  const double require_graph_speedup = quick ? 1.05 : 1.15;
+  core::PipelineConfig aggregate_config;
+  aggregate_config.seed = seed;
+  aggregate_config.threads = 1;
+  aggregate_config.calibration_blocks =
+      std::max(20, static_cast<int>(1200 * scales.back()));
+  aggregate_config.samples_per_block = 16;
+  core::PipelineResult aggregate_result =
+      core::RunPipeline(internet, aggregate_config);
+  std::vector<const core::BlockResult*> homogeneous =
+      aggregate_result.HomogeneousBlocks();
+  std::vector<cluster::AggregateBlock> aggregates =
+      cluster::AggregateIdentical(homogeneous);
+  GraphBuildRun graph_run = CompareGraphBuild(aggregates);
+  std::printf("\nsimilarity graph (%zu aggregates): fast %.5fs vs reference "
+              "%.5fs (%.2fx, required >= %.2fx)%s\n",
+              aggregates.size(), graph_run.fast_seconds,
+              graph_run.reference_seconds, graph_run.speedup(),
+              require_graph_speedup,
+              graph_run.identical ? "" : "  EDGE MISMATCH");
+  report.Config("require_graph_speedup", require_graph_speedup);
+  report.Metric("graph_aggregates", static_cast<double>(aggregates.size()));
+  report.Metric("graph_reference_seconds", graph_run.reference_seconds);
+  report.Metric("graph_fast_seconds", graph_run.fast_seconds);
+  report.Metric("graph_speedup", graph_run.speedup());
+  all_identical = all_identical && graph_run.identical;
+
+  const bool scaling_meaningful = hw > 1;
   report.Metric("single_thread_measure_speedup", gate_speedup);
   report.Metric("fast_4t_vs_1t", thread_scaling);
   report.Metric("identical", all_identical ? 1.0 : 0.0);
+  report.Metric("scaling_gates",
+                scaling_meaningful ? std::string("enforced")
+                                   : std::string("skipped-1core"));
   report.Write();
 
   std::printf("\nclassifications fast vs reference: %s\n",
@@ -205,6 +301,12 @@ int main(int argc, char** argv) {
               thread_scaling, require_thread_scaling, hw);
   if (!all_identical) return 1;
   if (gate_speedup < require_speedup) return 2;
+  if (graph_run.speedup() < require_graph_speedup) return 4;
+  if (!scaling_meaningful) {
+    std::printf("thread-scaling gate SKIPPED (threads_hw=1: time-slicing "
+                "one core cannot show speedup)\n");
+    return 77;
+  }
   if (thread_scaling < require_thread_scaling) return 3;
   return 0;
 }

@@ -8,10 +8,19 @@
 // deterministically, which is the unfriendliest realistic case for the
 // branch predictor.
 //
-// Exit codes follow bench_cluster_scaling: 0 ok, 1 batched answers
-// disagree with serial lookups, 2 scaling-gate failure.  The gates are
-// hardware-aware (see RequiredSpeedup): within the machine's core count
-// a batched run must not lose to the 1-thread batch (the chunked
+// The snapshot is also round-tripped through a v2 file and served twice
+// — owned buffer versus mmap (hobbit_serve --mmap) — with identical
+// answers required and a throughput floor on the mapped path (it reads
+// the same bytes out of the page cache; only first-touch differs, and
+// bench_lookup_layout gates that cold-start win on a 64MB+ snapshot).
+//
+// Exit codes follow bench_cluster_scaling: 0 ok, 1 batched or mmap
+// answers disagree with serial owned-buffer lookups, 2 scaling-gate
+// failure, 3 mmap throughput floor, 77 scaling gates skipped
+// (single-core machine — the report says "skipped-1core" instead of
+// letting the vacuous 0.4x collapse floors count as a pass).  The gates
+// are hardware-aware (see RequiredSpeedup): within the machine's core
+// count a batched run must not lose to the 1-thread batch (the chunked
 // scheduler's grain keeps dispatch overhead out of small batches, so
 // extra threads must be free or better); oversubscribed thread counts
 // only guard against pathological collapse, since time-slicing one core
@@ -151,9 +160,6 @@ int main(int argc, char** argv) {
     report.Metric(tag + "_speedup", speedup);
     report.Metric(tag + "_required_speedup", required);
   }
-  report.Metric("identical", all_identical ? 1.0 : 0.0);
-  report.Metric("gates_pass", gates_pass ? 1.0 : 0.0);
-
   // Covering queries: one per distinct /16 in the entry set.
   std::vector<netsim::Prefix> sixteens;
   for (std::size_t i = 0; i < snapshot->entry_count(); ++i) {
@@ -178,11 +184,93 @@ int main(int argc, char** argv) {
           : static_cast<double>(covered) / (cover_rounds * sixteens.size()));
   report.Metric("covering_queries_per_s",
                 cover_rounds * sixteens.size() / elapsed);
+
+  // mmap zero-copy serving: the same state as a v2 file, mapped with
+  // deferred verification (hobbit_serve --mmap) and re-queried.  Must
+  // answer identically and hold >= 0.9x of the owned-buffer throughput
+  // (one warm pass absorbs first-touch faults; cold start is gated at
+  // size in bench_lookup_layout).
+  const double require_mmap_ratio = 0.9;
+  double mmap_ratio = 1.0;
+  {
+    auto v2 = serve::CompileSnapshotV2(
+        world.final_blocks,
+        serve::ClassifiedFrom(
+            std::span<const core::BlockResult>(world.pipeline.results)),
+        world.seed);
+    const std::string path = "/tmp/hobbit_bench_serve.hsnp";
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    if (out == nullptr ||
+        std::fwrite(v2.data(), 1, v2.size(), out) != v2.size()) {
+      std::printf("cannot write %s\n", path.c_str());
+      if (out != nullptr) std::fclose(out);
+      return 1;
+    }
+    std::fclose(out);
+    serve::SnapshotLoadOptions mmap_options;
+    mmap_options.use_mmap = true;
+    mmap_options.defer_verification = true;
+    auto mapped = serve::Snapshot::FromFile(path, &error, mmap_options);
+    std::remove(path.c_str());
+    if (!mapped) {
+      std::printf("mmap load failed: %s\n", error.c_str());
+      return 1;
+    }
+    serve::LookupEngine mapped_engine(*mapped);
+    std::size_t mapped_hits = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {  // warm + identity
+      serve::LookupResult r =
+          mapped_engine.Lookup(netsim::Ipv4Address(queries[i]));
+      if (r.found != reference[i].found || r.block != reference[i].block) {
+        all_identical = false;
+        break;
+      }
+    }
+    start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      mapped_hits +=
+          mapped_engine.Lookup(netsim::Ipv4Address(queries[i])).found;
+    }
+    const double mapped_elapsed = Seconds(start);
+    start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      mapped_hits += engine.Lookup(netsim::Ipv4Address(queries[i])).found;
+    }
+    const double owned_elapsed = Seconds(start);
+    mmap_ratio = owned_elapsed / mapped_elapsed;
+    std::printf("mmap serving  : %8.0f klookups/s  (%5.2fx vs owned%s, "
+                "%zu hits)\n",
+                queries.size() / mapped_elapsed / 1e3, mmap_ratio,
+                mapped->is_mapped() ? "" : ", read fallback", mapped_hits / 2);
+    report.Metric("mmap_lookups_per_s", queries.size() / mapped_elapsed);
+    report.Metric("mmap_throughput_ratio", mmap_ratio);
+    report.Metric("mmap_mapped", mapped->is_mapped() ? 1.0 : 0.0);
+  }
+  report.Config("require_mmap_ratio", require_mmap_ratio);
+
+  // On one core the batch floors are vacuous collapse guards; report
+  // them as skipped rather than passed.
+  const bool scaling_meaningful = hw > 1;
+  report.Metric("identical", all_identical ? 1.0 : 0.0);
+  report.Metric("gates_pass",
+                (gates_pass && mmap_ratio >= require_mmap_ratio) ? 1.0 : 0.0);
+  report.Metric("scaling_gates",
+                scaling_meaningful ? std::string("enforced")
+                                   : std::string("skipped-1core"));
   report.Write();
 
   if (!all_identical) {
-    std::printf("\nbatched lookups DISAGREE with serial lookups (bug!)\n");
+    std::printf("\nbatched/mmap lookups DISAGREE with serial lookups (bug!)\n");
     return 1;
+  }
+  if (mmap_ratio < require_mmap_ratio) {
+    std::printf("\nmmap throughput gate FAILED (%.2fx < %.2fx)\n", mmap_ratio,
+                require_mmap_ratio);
+    return 3;
+  }
+  if (!scaling_meaningful) {
+    std::printf("\nbatched == serial; scaling gates SKIPPED (threads_hw=1)\n");
+    return 77;
   }
   if (!gates_pass) {
     std::printf("\nscaling gate FAILED (threads_hw=%u; see table)\n", hw);

@@ -110,26 +110,36 @@ std::string JsonString(const std::string& value) {
   return out;
 }
 
+std::string RunGitLine(const char* command) {
+  FILE* pipe = ::popen(command, "r");
+  if (pipe == nullptr) return "";
+  char buffer[128] = {0};
+  std::string line;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    line = buffer;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+  }
+  ::pclose(pipe);
+  return line;
+}
+
 std::string CurrentCommit() {
   if (const char* env = std::getenv("HOBBIT_COMMIT");
       env != nullptr && *env != '\0') {
     return env;
   }
-  FILE* pipe = ::popen(
-      "git -C \"" HOBBIT_REPO_ROOT "\" rev-parse --short HEAD 2>/dev/null",
-      "r");
-  if (pipe != nullptr) {
-    char buffer[64] = {0};
-    std::string line;
-    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
-      line = buffer;
-      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
-        line.pop_back();
-      }
-    }
-    ::pclose(pipe);
-    if (!line.empty()) return line;
-  }
+  std::string line = RunGitLine(
+      "git -C \"" HOBBIT_REPO_ROOT "\" rev-parse --short HEAD 2>/dev/null");
+  if (!line.empty()) return line;
+  // rev-parse fails on e.g. a shallow export with no HEAD ref; describe
+  // --always still resolves anything with objects, and --dirty marks
+  // uncommitted state so a report never masquerades as a clean commit.
+  line = RunGitLine(
+      "git -C \"" HOBBIT_REPO_ROOT
+      "\" describe --always --dirty 2>/dev/null");
+  if (!line.empty()) return line;
   // A report without a commit stamp cannot be diffed against history, so
   // refuse to produce one rather than writing "unknown" into a JSON that
   // looks authoritative.
@@ -167,6 +177,10 @@ void JsonReporter::Config(const std::string& key, const std::string& value) {
 
 void JsonReporter::Metric(const std::string& key, double value) {
   metrics_.emplace_back(key, JsonNumber(value));
+}
+
+void JsonReporter::Metric(const std::string& key, const std::string& value) {
+  metrics_.emplace_back(key, JsonString(value));
 }
 
 std::string JsonReporter::ToJson() const {

@@ -64,6 +64,9 @@ class JsonReporter {
   void Config(const std::string& key, double value);
   void Config(const std::string& key, const std::string& value);
   void Metric(const std::string& key, double value);
+  /// String-valued metric (e.g. "scaling_gates": "skipped-1core" when a
+  /// single-core machine cannot exercise multi-thread speedup gates).
+  void Metric(const std::string& key, const std::string& value);
 
   /// Serializes the report.  Keys keep insertion order.
   std::string ToJson() const;

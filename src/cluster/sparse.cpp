@@ -14,6 +14,15 @@ namespace {
 // larger matrices split into one contiguous chunk per shard.
 constexpr std::size_t kColumnGrain = 64;
 
+// Entry-wise inflation power.  The canonical MCL inflation (2.0) is a
+// single multiply — both round the exact value of x², so x*x and a
+// correctly-rounded pow agree, and more importantly the standalone
+// Inflate kernel and the fused iteration call this one function, which
+// keeps fused == unfused bit-identity independent of the libm pow path.
+inline double InflatePow(double value, double power) {
+  return power == 2.0 ? value * value : std::pow(value, power);
+}
+
 // Pruning selection, shared verbatim by Prune and the fused iteration:
 // keep the `max_per_column` largest of `kept` (already in row order),
 // then restore row order.  The exact nth_element/sort call sequence is
@@ -103,7 +112,7 @@ void SparseMatrix::Inflate(double power, common::ThreadPool* pool) {
         for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
           double sum = 0.0;
           for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-            values_[i] = std::pow(values_[i], power);
+            values_[i] = InflatePow(values_[i], power);
             sum += values_[i];
           }
           if (sum <= 0.0) continue;
@@ -302,6 +311,7 @@ SparseMatrix SparseMatrix::MclIterate(double inflation,
     out.counts.reserve(chunk.size());
     std::vector<double> accumulator(n_, 0.0);
     std::vector<std::uint32_t> touched;
+    std::vector<double> column;  // SoA scratch: the column, densely packed
     std::vector<std::pair<double, std::uint32_t>> kept;
     double local_max = 0.0;
     for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
@@ -320,21 +330,36 @@ SparseMatrix SparseMatrix::MclIterate(double inflation,
         }
       }
       std::sort(touched.begin(), touched.end());
+      // Gather the column out of the n-sized accumulator into a densely
+      // packed value array (clearing the accumulator in the same pass —
+      // it must be all-zeros when the next column starts).  From here on
+      // every stage is a contiguous sweep over `column` instead of a
+      // gather/scatter through accumulator[r]: same floating-point
+      // operations on the same values in the same (row-ascending) order,
+      // so the fusion contract is untouched, but the loops now walk
+      // cache lines linearly and vectorize.
+      const std::size_t touched_count = touched.size();
+      column.resize(touched_count);
+      for (std::size_t t = 0; t < touched_count; ++t) {
+        const std::uint32_t r = touched[t];
+        column[t] = accumulator[r];
+        accumulator[r] = 0.0;
+      }
       // Inflation: pow every entry in row order, then normalize
       // (columns summing to zero stay unnormalized, as in Inflate).
       double sum = 0.0;
-      for (std::uint32_t r : touched) {
-        accumulator[r] = std::pow(accumulator[r], inflation);
-        sum += accumulator[r];
+      for (std::size_t t = 0; t < touched_count; ++t) {
+        column[t] = InflatePow(column[t], inflation);
+        sum += column[t];
       }
       if (sum > 0.0) {
-        for (std::uint32_t r : touched) accumulator[r] /= sum;
+        for (std::size_t t = 0; t < touched_count; ++t) column[t] /= sum;
       }
       // Pruning + renormalization over the kept entries.
       kept.clear();
-      for (std::uint32_t r : touched) {
-        if (accumulator[r] >= prune_threshold) {
-          kept.emplace_back(accumulator[r], r);
+      for (std::size_t t = 0; t < touched_count; ++t) {
+        if (column[t] >= prune_threshold) {
+          kept.emplace_back(column[t], touched[t]);
         }
       }
       SelectTopThenSortByRow(kept, max_per_column);
@@ -368,7 +393,6 @@ SparseMatrix SparseMatrix::MclIterate(double inflation,
         out.values.push_back(value);
       }
       out.counts.push_back(static_cast<std::uint32_t>(kept.size()));
-      for (std::uint32_t r : touched) accumulator[r] = 0.0;
     }
     out.max_difference = local_max;
   });

@@ -73,8 +73,11 @@ class SparseMatrix {
   /// output column's floating-point operations run in exactly the
   /// reference order), but with one pool wake-up per iteration instead
   /// of one per kernel and per-shard contiguous output buffers instead
-  /// of per-column allocations.  When `max_difference` is non-null it
-  /// receives MaxDifference(result, *this), computed on the fly.
+  /// of per-column allocations.  After expansion each column is gathered
+  /// into a densely packed value array, so inflation, normalization and
+  /// pruning are contiguous (vectorizable) sweeps rather than scatters
+  /// through an n-sized accumulator.  When `max_difference` is non-null
+  /// it receives MaxDifference(result, *this), computed on the fly.
   SparseMatrix MclIterate(double inflation, double prune_threshold,
                           std::size_t max_per_column,
                           common::ThreadPool* pool = nullptr,

@@ -1,0 +1,49 @@
+// arena.cpp — the slow (new-chunk) path of the bump allocator.  This TU
+// builds with warnings-as-errors (see src/common/CMakeLists.txt), which
+// also puts arena.h itself under -Werror.
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace hobbit::common {
+
+void* Arena::AllocateSlow(std::size_t bytes, std::size_t alignment) {
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0 ||
+      alignment > kMaxAlignment) {
+    throw std::bad_alloc();
+  }
+  // Try the retained chunks first (after a Reset the whole chain is
+  // reusable); chunks too small for this request are skipped, not freed —
+  // a later small allocation can still land in them on the next pass.
+  while (chunk_index_ + 1 < chunks_.size()) {
+    ++chunk_index_;
+    cursor_ = 0;
+    const Chunk& chunk = chunks_[chunk_index_];
+    if (bytes <= chunk.usable) {
+      cursor_ = bytes;
+      allocated_ += bytes;
+      return chunk.data.get() + chunk.origin;
+    }
+  }
+  // Grow: double the last chunk (capped) and never below the request.
+  // Raw new[] storage is only guaranteed 16-byte alignment, so each
+  // chunk over-allocates by one cache line and bumps from a 64-aligned
+  // `origin`; offset alignment then equals address alignment for every
+  // supported request.
+  const std::size_t grow =
+      chunks_.empty() ? first_chunk_bytes_
+                      : std::min(chunks_.back().usable * 2, kMaxChunkBytes);
+  const std::size_t raw = std::max(grow, bytes) + kMaxAlignment;
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(raw);
+  const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+  chunk.origin = AlignUp(base, kMaxAlignment) - base;
+  chunk.usable = raw - chunk.origin;
+  chunks_.push_back(std::move(chunk));
+  chunk_index_ = chunks_.size() - 1;
+  cursor_ = bytes;
+  allocated_ += bytes;
+  return chunks_[chunk_index_].data.get() + chunks_[chunk_index_].origin;
+}
+
+}  // namespace hobbit::common

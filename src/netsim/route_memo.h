@@ -28,8 +28,8 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
+#include "common/arena.h"
 #include "netsim/rng.h"
 #include "netsim/topology.h"
 
@@ -132,9 +132,15 @@ class RouteMemo {
     }
     topology_ = &topology;
     epoch_ = topology.mutation_epoch();
-    caches_.assign(topology.router_count(), RouterCache{});
-    paths_.assign(kPathSlots, PathSlot{});
-    subnets_.assign(kSubnetSlots, SubnetSlot{});
+    // All three tables live in one per-memo arena: an epoch bump (route
+    // churn in a streaming campaign re-validates every wave) rewinds the
+    // arena and re-carves the same retained chunks — zero-filled slot
+    // arrays laid out back to back, no allocator round trips.  All slot
+    // types are trivially destructible, which AllocateArray enforces.
+    arena_.Reset();
+    caches_ = arena_.AllocateArray<RouterCache>(topology.router_count());
+    paths_ = arena_.AllocateArray<PathSlot>(kPathSlots);
+    subnets_ = arena_.AllocateArray<SubnetSlot>(kSubnetSlots);
   }
 
   static std::size_t PathIndex(Ipv4Address dst, std::uint16_t flow) {
@@ -170,9 +176,10 @@ class RouteMemo {
 
   const Topology* topology_ = nullptr;
   std::uint64_t epoch_ = 0;
-  std::vector<RouterCache> caches_;
-  std::vector<PathSlot> paths_;
-  std::vector<SubnetSlot> subnets_;
+  common::Arena arena_;
+  RouterCache* caches_ = nullptr;
+  PathSlot* paths_ = nullptr;
+  SubnetSlot* subnets_ = nullptr;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t path_hits_ = 0;

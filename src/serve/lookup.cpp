@@ -1,15 +1,108 @@
 #include "serve/lookup.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace hobbit::serve {
+namespace {
+
+/// In-order fill of the Eytzinger arrays: node k receives the next key
+/// of the ascending sequence after its whole left subtree.  Recursion
+/// depth is the tree height (log2 n), so the stack stays shallow even
+/// at 100M keys.
+template <typename NextKey>
+void FillEytzinger(std::size_t k, std::size_t count, std::size_t* rank,
+                   NextKey&& next_key, std::uint32_t* keys,
+                   std::uint32_t* ranks) {
+  if (k > count) return;
+  FillEytzinger(2 * k, count, rank, next_key, keys, ranks);
+  keys[k] = next_key(*rank);
+  ranks[k] = static_cast<std::uint32_t>(*rank);
+  ++*rank;
+  FillEytzinger(2 * k + 1, count, rank, next_key, keys, ranks);
+}
+
+}  // namespace
+
+template <bool kUpper>
+std::size_t EytzingerIndex::Descend(std::uint32_t key) const {
+  const std::uint32_t* keys = keys_.data();
+  const std::size_t count = count_;
+  std::size_t k = 1;
+  while (k <= count) {
+#if defined(__GNUC__) || defined(__clang__)
+    // Pull the node four levels below into cache while the next four
+    // comparisons resolve; the tail levels where k<<4 runs past the
+    // array are a predictable, cheap branch.
+    if ((k << 4) <= count) __builtin_prefetch(&keys[k << 4]);
+#endif
+    if constexpr (kUpper) {
+      k = 2 * k + (keys[k] <= key);
+    } else {
+      k = 2 * k + (keys[k] < key);
+    }
+  }
+  // Every right turn appended a 1 bit; shedding the trailing 1s (and one
+  // more step up) lands on the last node where the search went left —
+  // exactly the smallest key >= (resp. >) the probe.  k == 0 means the
+  // search went right the whole way: no such key.
+  k >>= static_cast<unsigned>(std::countr_one(k)) + 1;
+  return k;
+}
+
+template std::size_t EytzingerIndex::Descend<false>(std::uint32_t) const;
+template std::size_t EytzingerIndex::Descend<true>(std::uint32_t) const;
+
+EytzingerIndex EytzingerIndex::Build(const Snapshot& snapshot) {
+  const std::size_t count = snapshot.entry_count();
+  EytzingerIndex index;
+  index.count_ = count;
+  index.keys_.assign(count + 1, 0);
+  index.ranks_.assign(count + 1, 0);
+  std::size_t rank = 0;
+  FillEytzinger(
+      1, count, &rank,
+      [&](std::size_t i) { return snapshot.EntryKey(i); },
+      index.keys_.data(), index.ranks_.data());
+  return index;
+}
+
+EytzingerIndex EytzingerIndex::Build(
+    std::span<const std::uint32_t> sorted_keys) {
+  const std::size_t count = sorted_keys.size();
+  EytzingerIndex index;
+  index.count_ = count;
+  index.keys_.assign(count + 1, 0);
+  index.ranks_.assign(count + 1, 0);
+  std::size_t rank = 0;
+  FillEytzinger(
+      1, count, &rank, [&](std::size_t i) { return sorted_keys[i]; },
+      index.keys_.data(), index.ranks_.data());
+  return index;
+}
 
 std::size_t LookupEngine::LowerBound(std::uint32_t key) const {
+  if (index_ != nullptr) return index_->LowerBoundRank(key);
   std::size_t lo = 0;
   std::size_t hi = snapshot_->entry_count();
   while (lo < hi) {
     std::size_t mid = lo + (hi - lo) / 2;
     if (snapshot_->EntryKey(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t LookupEngine::UpperBound(std::uint32_t key) const {
+  if (index_ != nullptr) return index_->UpperBoundRank(key);
+  std::size_t lo = 0;
+  std::size_t hi = snapshot_->entry_count();
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (snapshot_->EntryKey(mid) <= key) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -34,20 +127,7 @@ EntryRange LookupEngine::Covering(const netsim::Prefix& prefix) const {
   // "covers" no whole /24 unless you count its parent — it does not.
   if (prefix.length() > 24) return EntryRange{};
   std::size_t begin = LowerBound(prefix.First().value());
-  std::size_t end = begin;
-  const std::uint32_t last = prefix.Last().value();
-  // Advance by binary search, not a scan: first key > last.
-  std::size_t lo = begin;
-  std::size_t hi = snapshot_->entry_count();
-  while (lo < hi) {
-    std::size_t mid = lo + (hi - lo) / 2;
-    if (snapshot_->EntryKey(mid) <= last) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  end = lo;
+  std::size_t end = UpperBound(prefix.Last().value());
   return EntryRange{begin, end};
 }
 

@@ -12,6 +12,15 @@
 // The engine borrows the snapshot (no ownership): callers doing RCU
 // hot-swap construct a fresh engine per acquired shared_ptr, which is one
 // pointer copy — all state lives in the snapshot buffer.
+//
+// For snapshots large enough that the binary search's first probes are
+// all cache misses, an optional EytzingerIndex accelerates the exact
+// search: the same keys laid out in BFS (heap) order, so the first few
+// levels of every descent share a handful of hot cache lines and deeper
+// levels are prefetched ahead of the comparison that needs them.  The
+// index is a pure accelerator — same answers as LowerBound by
+// construction, pinned by differential tests — and is built once per
+// published snapshot (LineService caches it per snapshot pointer).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +31,59 @@
 #include "serve/snapshot.h"
 
 namespace hobbit::serve {
+
+/// The snapshot key array re-laid-out in Eytzinger (BFS heap) order:
+/// node k has children 2k and 2k+1 (1-based), so a search descends by
+/// index arithmetic alone and the top of the tree — the levels every
+/// lookup traverses — occupies a few contiguous cache lines instead of
+/// being scattered across the sorted array.  `ranks` maps each node back
+/// to its sorted position, which is what the engine's range queries need.
+class EytzingerIndex {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  EytzingerIndex() = default;
+
+  /// Builds the index over `snapshot`'s key section.
+  static EytzingerIndex Build(const Snapshot& snapshot);
+  /// Builds over an already-sorted, duplicate-free key array.
+  static EytzingerIndex Build(std::span<const std::uint32_t> sorted_keys);
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Sorted rank of the first key >= `key` (== count when all keys are
+  /// smaller) — the LowerBound analogue.
+  std::size_t LowerBoundRank(std::uint32_t key) const {
+    const std::size_t k = Descend<false>(key);
+    return k == 0 ? count_ : ranks_[k];
+  }
+
+  /// Sorted rank of the first key > `key`.
+  std::size_t UpperBoundRank(std::uint32_t key) const {
+    const std::size_t k = Descend<true>(key);
+    return k == 0 ? count_ : ranks_[k];
+  }
+
+  /// Sorted rank of `key` exactly, or npos when absent.
+  std::size_t Find(std::uint32_t key) const {
+    const std::size_t k = Descend<false>(key);
+    if (k == 0 || keys_[k] != key) return npos;
+    return ranks_[k];
+  }
+
+ private:
+  /// Branchless heap descent.  Returns the 1-based node of the first key
+  /// >= `key` (kUpper: > `key`), or 0 when no such key exists.
+  template <bool kUpper>
+  std::size_t Descend(std::uint32_t key) const;
+
+  /// keys_[1..count_] in BFS order; slot 0 unused.  ranks_[k] is the
+  /// sorted index of keys_[k].
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint32_t> ranks_;
+  std::size_t count_ = 0;
+};
 
 /// Answer for one /24 (or address) query.
 struct LookupResult {
@@ -41,7 +103,15 @@ struct EntryRange {
 
 class LookupEngine {
  public:
-  explicit LookupEngine(const Snapshot& snapshot) : snapshot_(&snapshot) {}
+  /// `index`, when non-null, must have been built over this snapshot's
+  /// keys; every search then descends the Eytzinger layout instead of
+  /// binary-searching the sorted array (identical answers either way).
+  explicit LookupEngine(const Snapshot& snapshot,
+                        const EytzingerIndex* index = nullptr)
+      : snapshot_(&snapshot),
+        index_(index != nullptr && index->size() == snapshot.entry_count()
+                   ? index
+                   : nullptr) {}
 
   /// Exact lookup of the /24 containing `address`.
   LookupResult Lookup(netsim::Ipv4Address address) const {
@@ -73,8 +143,11 @@ class LookupEngine {
   LookupResult LookupKey(std::uint32_t key) const;
   /// First entry index with key >= `key`.
   std::size_t LowerBound(std::uint32_t key) const;
+  /// First entry index with key > `key`.
+  std::size_t UpperBound(std::uint32_t key) const;
 
   const Snapshot* snapshot_;
+  const EytzingerIndex* index_ = nullptr;
 };
 
 }  // namespace hobbit::serve

@@ -131,6 +131,10 @@ class Reactor {
 
   const ReactorStats& stats() const { return stats_; }
 
+  /// The shared protocol driver, e.g. to set RELOAD load options before
+  /// Run().  Not safe to reconfigure while the loop is running.
+  LineService* service() { return &service_; }
+
  private:
   struct Channel;
   class Poller;

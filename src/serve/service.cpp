@@ -111,13 +111,25 @@ bool LineService::HandleCommand(const std::string& line, std::istream& in,
   return keep_going;
 }
 
+std::shared_ptr<const EytzingerIndex> LineService::IndexFor(
+    const std::shared_ptr<const Snapshot>& snapshot) {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_snapshot_ != snapshot) {
+    index_ = std::make_shared<const EytzingerIndex>(
+        EytzingerIndex::Build(*snapshot));
+    index_snapshot_ = snapshot;
+  }
+  return index_;
+}
+
 void LineService::CmdLookup(const std::string& arg, std::ostream& out) {
   std::shared_ptr<const Snapshot> snapshot = store_->Current();
   if (snapshot == nullptr) {
     out << "ERR no snapshot loaded\n";
     return;
   }
-  LookupEngine engine(*snapshot);
+  std::shared_ptr<const EytzingerIndex> index = IndexFor(snapshot);
+  LookupEngine engine(*snapshot, index.get());
   std::uint32_t key = 0;
   if (ParseExactQuery(arg, &key)) {
     metrics_->lookups.fetch_add(1, std::memory_order_relaxed);
@@ -165,7 +177,8 @@ void LineService::CmdBatch(const std::string& arg, std::istream& in,
     out << "ERR no snapshot loaded\n";
     return;
   }
-  LookupEngine engine(*snapshot);
+  std::shared_ptr<const EytzingerIndex> index = IndexFor(snapshot);
+  LookupEngine engine(*snapshot, index.get());
   // Parse up front; only well-formed queries enter the sharded batch.
   std::vector<std::uint32_t> keys(count, 0);
   std::vector<bool> valid(count, false);
@@ -197,7 +210,7 @@ void LineService::CmdReload(const std::string& arg, std::ostream& out) {
     return;
   }
   std::string error;
-  if (!store_->ReloadFromFile(arg, &error)) {
+  if (!store_->ReloadFromFile(arg, &error, reload_options_)) {
     metrics_->failed_reloads.fetch_add(1, std::memory_order_relaxed);
     out << "ERR reload failed: " << error << "\n";
     return;

@@ -27,10 +27,13 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
 #include "common/parallel.h"
+#include "serve/lookup.h"
 #include "serve/metrics.h"
 #include "serve/store.h"
 
@@ -64,15 +67,33 @@ class LineService {
   bool HandleCommand(const std::string& line, std::istream& in,
                      std::ostream& out);
 
+  /// Options RELOAD passes to SnapshotStore::ReloadFromFile — set once
+  /// at startup (hobbit_serve --mmap) so reloads keep the serving mode.
+  void set_reload_options(const SnapshotLoadOptions& options) {
+    reload_options_ = options;
+  }
+
  private:
   void CmdLookup(const std::string& arg, std::ostream& out);
   void CmdBatch(const std::string& arg, std::istream& in, std::ostream& out);
   void CmdReload(const std::string& arg, std::ostream& out);
   void CmdStats(std::ostream& out);
 
+  /// The Eytzinger index for `snapshot`, built lazily and cached per
+  /// published snapshot: an RCU swap changes the pointer, which misses
+  /// the one-entry cache and rebuilds.  Thread-safe (reactor tests drive
+  /// one service from several simulated connections).
+  std::shared_ptr<const EytzingerIndex> IndexFor(
+      const std::shared_ptr<const Snapshot>& snapshot);
+
   SnapshotStore* store_;
   ServeMetrics* metrics_;
   common::ThreadPool* pool_;
+  SnapshotLoadOptions reload_options_;
+
+  std::mutex index_mutex_;
+  std::shared_ptr<const Snapshot> index_snapshot_;
+  std::shared_ptr<const EytzingerIndex> index_;
 };
 
 }  // namespace hobbit::serve

@@ -8,6 +8,14 @@
 
 #include "serve/wire.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define HOBBIT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace hobbit::serve {
 namespace {
 
@@ -20,11 +28,39 @@ using wire::ReadU64;
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 
-/// Derived payload size for given section counts.
+/// Derived v1 payload size for given section counts.
 std::uint64_t PayloadBytesFor(std::uint64_t n, std::uint64_t m,
                               std::uint64_t h) {
   return n * 4 + n * 4 + n + PadTo4(n) + m * 12 + h * 4;
 }
+
+/// The five v2 section offsets (keys, blocks, classes, blocktab, hops) —
+/// a pure function of the counts, each AlignUp(previous end, 64).
+struct V2Layout {
+  std::uint64_t offsets[5];
+  std::uint64_t sizes[5];
+  std::uint64_t file_bytes;
+};
+
+V2Layout LayoutV2(std::uint64_t n, std::uint64_t m, std::uint64_t h) {
+  V2Layout layout;
+  layout.sizes[0] = n * 4;  // keys
+  layout.sizes[1] = n * 4;  // blocks
+  layout.sizes[2] = n;      // classes
+  layout.sizes[3] = m * 12; // blocktab
+  layout.sizes[4] = h * 4;  // hops
+  std::uint64_t cursor = kSnapshotV2HeaderBytes;
+  for (int i = 0; i < 5; ++i) {
+    cursor = (cursor + kSnapshotAlignment - 1) & ~(kSnapshotAlignment - 1);
+    layout.offsets[i] = cursor;
+    cursor += layout.sizes[i];
+  }
+  layout.file_bytes = cursor;
+  return layout;
+}
+
+const char* const kV2SectionNames[5] = {"keys", "blocks", "classes",
+                                        "blocktab", "hops"};
 
 bool LoadFail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
@@ -139,6 +175,52 @@ std::vector<std::byte> AssembleSnapshot(std::span<const SnapshotEntry> entries,
   return out;
 }
 
+std::vector<std::byte> AssembleSnapshotV2(std::span<const SnapshotEntry> entries,
+                                          std::span<const std::byte> blocktab,
+                                          std::span<const std::byte> hops,
+                                          std::uint64_t epoch) {
+  const std::size_t n = entries.size();
+  const std::size_t m = blocktab.size() / 12;
+  const std::size_t h = hops.size() / 4;
+  const V2Layout layout = LayoutV2(n, m, h);
+
+  std::vector<std::byte> out(layout.file_bytes, std::byte{0});
+  // Sections first, so the header can record their checksums.
+  {
+    std::byte* keys = out.data() + layout.offsets[0];
+    std::byte* blocks = out.data() + layout.offsets[1];
+    std::byte* classes = out.data() + layout.offsets[2];
+    for (std::size_t i = 0; i < n; ++i) {
+      const SnapshotEntry& e = entries[i];
+      wire::StoreU32(keys + i * 4, e.key);
+      wire::StoreU32(blocks + i * 4, e.block);
+      classes[i] = static_cast<std::byte>(e.class_token);
+    }
+    std::copy(blocktab.begin(), blocktab.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(layout.offsets[3]));
+    std::copy(hops.begin(), hops.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(layout.offsets[4]));
+  }
+
+  std::byte* header = out.data();
+  std::memcpy(header, kSnapshotMagic, 4);
+  wire::StoreU32(header + 4, kSnapshotVersion2);
+  wire::StoreU32(header + 8, kSnapshotV2HeaderBytes);
+  wire::StoreU32(header + 12, static_cast<std::uint32_t>(n));
+  wire::StoreU32(header + 16, static_cast<std::uint32_t>(m));
+  wire::StoreU32(header + 20, static_cast<std::uint32_t>(h));
+  wire::StoreU64(header + 24, epoch);
+  wire::StoreU64(header + 32, layout.file_bytes);
+  for (int i = 0; i < 5; ++i) {
+    wire::StoreU64(header + 40 + i * 8, layout.offsets[i]);
+    wire::StoreU64(header + 80 + i * 8,
+                   Fnv1a64({out.data() + layout.offsets[i],
+                            static_cast<std::size_t>(layout.sizes[i])}));
+  }
+  wire::StoreU64(header + 120, 0);  // reserved
+  return out;
+}
+
 std::vector<std::byte> CompileSnapshot(
     std::span<const cluster::AggregateBlock> blocks,
     std::span<const ClassifiedPrefix> classified, std::uint64_t epoch) {
@@ -149,8 +231,156 @@ std::vector<std::byte> CompileSnapshot(
   return AssembleSnapshot(entries, blocktab, hops, epoch);
 }
 
+std::vector<std::byte> CompileSnapshotV2(
+    std::span<const cluster::AggregateBlock> blocks,
+    std::span<const ClassifiedPrefix> classified, std::uint64_t epoch) {
+  std::vector<SnapshotEntry> entries = BuildSnapshotEntries(blocks, classified);
+  std::vector<std::byte> blocktab;
+  std::vector<std::byte> hops;
+  AppendBlockTable(blocks, &blocktab, &hops);
+  return AssembleSnapshotV2(entries, blocktab, hops, epoch);
+}
+
+// ---------------------------------------------------------------------------
+// MmapSource
+
+std::shared_ptr<const MmapSource> MmapSource::Map(const std::string& path,
+                                                  std::string* error) {
+  auto source = std::shared_ptr<MmapSource>(new MmapSource());
+#if HOBBIT_HAS_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return nullptr;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    if (error != nullptr) *error = "cannot stat " + path;
+    return nullptr;
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data != MAP_FAILED) {
+      source->data_ = data;
+      source->size_ = size;
+      source->mapped_ = true;
+    }
+  }
+  ::close(fd);
+  if (source->mapped_ || size == 0) return source;
+  // mmap failed (unusual filesystem, resource limit): fall through to the
+  // owned-copy fallback below so the caller still gets the bytes.
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return nullptr;
+  }
+  char chunk[64 * 1024];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    const std::byte* begin = reinterpret_cast<const std::byte*>(chunk);
+    source->fallback_.insert(source->fallback_.end(), begin,
+                             begin + in.gcount());
+  }
+  source->data_ = source->fallback_.data();
+  source->size_ = source->fallback_.size();
+  source->mapped_ = false;
+  return source;
+}
+
+MmapSource::~MmapSource() {
+#if HOBBIT_HAS_MMAP
+  if (mapped_ && data_ != nullptr) ::munmap(data_, size_);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
 std::uint32_t Snapshot::LoadU32(std::size_t offset) const {
-  return ReadU32(buffer_.data() + offset);
+  return ReadU32(base_ + offset);
+}
+
+void Snapshot::Rebase() {
+  if (map_ != nullptr) {
+    std::span<const std::byte> bytes = map_->bytes();
+    base_ = bytes.data();
+    size_ = bytes.size();
+  } else {
+    base_ = buffer_.data();
+    size_ = buffer_.size();
+  }
+}
+
+Snapshot::Snapshot(const Snapshot& other)
+    : buffer_(other.buffer_),
+      map_(other.map_),
+      version_(other.version_),
+      fully_verified_(other.fully_verified_),
+      entry_count_(other.entry_count_),
+      block_count_(other.block_count_),
+      hop_count_(other.hop_count_),
+      epoch_(other.epoch_),
+      checksum_(other.checksum_),
+      keys_offset_(other.keys_offset_),
+      entry_blocks_offset_(other.entry_blocks_offset_),
+      classes_offset_(other.classes_offset_),
+      blocktab_offset_(other.blocktab_offset_),
+      hops_offset_(other.hops_offset_) {
+  Rebase();
+}
+
+Snapshot& Snapshot::operator=(const Snapshot& other) {
+  if (this != &other) {
+    Snapshot copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Snapshot::Snapshot(Snapshot&& other) noexcept
+    : buffer_(std::move(other.buffer_)),
+      map_(std::move(other.map_)),
+      version_(other.version_),
+      fully_verified_(other.fully_verified_),
+      entry_count_(other.entry_count_),
+      block_count_(other.block_count_),
+      hop_count_(other.hop_count_),
+      epoch_(other.epoch_),
+      checksum_(other.checksum_),
+      keys_offset_(other.keys_offset_),
+      entry_blocks_offset_(other.entry_blocks_offset_),
+      classes_offset_(other.classes_offset_),
+      blocktab_offset_(other.blocktab_offset_),
+      hops_offset_(other.hops_offset_) {
+  Rebase();
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this != &other) {
+    buffer_ = std::move(other.buffer_);
+    map_ = std::move(other.map_);
+    version_ = other.version_;
+    fully_verified_ = other.fully_verified_;
+    entry_count_ = other.entry_count_;
+    block_count_ = other.block_count_;
+    hop_count_ = other.hop_count_;
+    epoch_ = other.epoch_;
+    checksum_ = other.checksum_;
+    keys_offset_ = other.keys_offset_;
+    entry_blocks_offset_ = other.entry_blocks_offset_;
+    classes_offset_ = other.classes_offset_;
+    blocktab_offset_ = other.blocktab_offset_;
+    hops_offset_ = other.hops_offset_;
+    Rebase();
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
 }
 
 std::vector<netsim::Ipv4Address> Snapshot::BlockLastHops(
@@ -165,110 +395,193 @@ std::vector<netsim::Ipv4Address> Snapshot::BlockLastHops(
   return hops;
 }
 
-std::optional<Snapshot> Snapshot::FromBuffer(std::vector<std::byte> buffer,
-                                             std::string* error) {
-  if (buffer.size() < kSnapshotHeaderBytes) {
-    LoadFail(error, "truncated header: " + std::to_string(buffer.size()) +
-                        " bytes");
-    return std::nullopt;
-  }
-  if (std::memcmp(buffer.data(), kSnapshotMagic, 4) != 0) {
-    LoadFail(error, "bad magic (not a HobbitSnapshot file)");
-    return std::nullopt;
-  }
-  const std::byte* base = buffer.data();
-  std::uint32_t version = ReadU32(base + 4);
-  if (version != kSnapshotVersion) {
-    LoadFail(error, "unsupported version " + std::to_string(version));
-    return std::nullopt;
-  }
-  if (ReadU32(base + 8) != kSnapshotHeaderBytes) {
-    LoadFail(error, "bad header size field");
-    return std::nullopt;
-  }
-  std::uint64_t n = ReadU32(base + 12);
-  std::uint64_t m = ReadU32(base + 16);
-  std::uint64_t h = ReadU32(base + 20);
-  std::uint64_t epoch = ReadU64(base + 24);
-  std::uint64_t payload_bytes = ReadU64(base + 32);
-  std::uint64_t checksum = ReadU64(base + 40);
-  if (ReadU64(base + 48) != 0) {
-    LoadFail(error, "nonzero reserved field");
-    return std::nullopt;
-  }
-  if (payload_bytes != PayloadBytesFor(n, m, h)) {
-    LoadFail(error, "payload size field disagrees with section counts");
-    return std::nullopt;
-  }
-  if (buffer.size() != kSnapshotHeaderBytes + payload_bytes) {
-    LoadFail(error,
-             buffer.size() < kSnapshotHeaderBytes + payload_bytes
-                 ? "truncated payload"
-                 : "trailing bytes after payload");
-    return std::nullopt;
-  }
-  std::span<const std::byte> payload(base + kSnapshotHeaderBytes,
-                                     payload_bytes);
-  if (Fnv1a64(payload) != checksum) {
-    LoadFail(error, "payload checksum mismatch");
-    return std::nullopt;
-  }
-
-  Snapshot snapshot;
-  snapshot.entry_count_ = n;
-  snapshot.block_count_ = m;
-  snapshot.hop_count_ = h;
-  snapshot.epoch_ = epoch;
-  snapshot.checksum_ = checksum;
-  snapshot.keys_offset_ = kSnapshotHeaderBytes;
-  snapshot.entry_blocks_offset_ = snapshot.keys_offset_ + n * 4;
-  snapshot.classes_offset_ = snapshot.entry_blocks_offset_ + n * 4;
-  snapshot.blocktab_offset_ = snapshot.classes_offset_ + n + PadTo4(n);
-  snapshot.hops_offset_ = snapshot.blocktab_offset_ + m * 12;
-  snapshot.buffer_ = std::move(buffer);
-
+bool Snapshot::ValidateEntries(std::string* error) const {
+  const std::size_t n = entry_count_;
   for (std::size_t i = 0; i + 1 < n; ++i) {
-    if (snapshot.EntryKey(i) >= snapshot.EntryKey(i + 1)) {
-      LoadFail(error, "entry keys not strictly ascending at index " +
-                          std::to_string(i + 1));
-      return std::nullopt;
+    if (EntryKey(i) >= EntryKey(i + 1)) {
+      return LoadFail(error, "entry keys not strictly ascending at index " +
+                                 std::to_string(i + 1));
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
-    if ((snapshot.EntryKey(i) & 0xFF) != 0) {
-      LoadFail(error, "entry key is not a /24 base at index " +
+    if ((EntryKey(i) & 0xFF) != 0) {
+      return LoadFail(error,
+                      "entry key is not a /24 base at index " +
                           std::to_string(i));
-      return std::nullopt;
     }
-    std::uint32_t block = snapshot.EntryBlock(i);
-    if (block != kNoBlock && block >= m) {
-      LoadFail(error,
-               "entry block id out of range at index " + std::to_string(i));
-      return std::nullopt;
+    std::uint32_t block = EntryBlock(i);
+    if (block != kNoBlock && block >= block_count_) {
+      return LoadFail(error,
+                      "entry block id out of range at index " +
+                          std::to_string(i));
     }
-    std::uint8_t token = snapshot.EntryClass(i);
+    std::uint8_t token = EntryClass(i);
     if (token != kNoClass && token > 4) {
-      LoadFail(error, "entry classification out of range at index " +
-                          std::to_string(i));
-      return std::nullopt;
+      return LoadFail(error, "entry classification out of range at index " +
+                                 std::to_string(i));
     }
   }
-  for (std::uint32_t b = 0; b < m; ++b) {
-    std::uint64_t offset =
-        ReadU32(snapshot.buffer_.data() + snapshot.blocktab_offset_ +
-                std::size_t{b} * 12 + 4);
-    std::uint64_t count = snapshot.BlockHopCount(b);
-    if (offset + count > h) {
-      LoadFail(error, "block " + std::to_string(b) +
-                          " hop run exceeds the hop pool");
-      return std::nullopt;
+  for (std::uint32_t b = 0; b < block_count_; ++b) {
+    std::uint64_t offset = LoadU32(blocktab_offset_ + std::size_t{b} * 12 + 4);
+    std::uint64_t count = BlockHopCount(b);
+    if (offset + count > hop_count_) {
+      return LoadFail(error, "block " + std::to_string(b) +
+                                 " hop run exceeds the hop pool");
     }
   }
+  return true;
+}
+
+bool Snapshot::VerifyPayload(std::string* error) const {
+  if (version_ == kSnapshotVersion) {
+    std::span<const std::byte> payload(base_ + kSnapshotHeaderBytes,
+                                       size_ - kSnapshotHeaderBytes);
+    if (Fnv1a64(payload) != checksum_) {
+      return LoadFail(error, "payload checksum mismatch");
+    }
+  } else {
+    const V2Layout layout = LayoutV2(entry_count_, block_count_, hop_count_);
+    // Padding between sections must be zero: the layout is canonical, so
+    // two compiles of the same state are byte-identical files.
+    for (int i = 0; i < 5; ++i) {
+      const std::size_t pad_begin =
+          i == 0 ? kSnapshotV2HeaderBytes
+                 : static_cast<std::size_t>(layout.offsets[i - 1] +
+                                            layout.sizes[i - 1]);
+      const std::size_t pad_end = static_cast<std::size_t>(layout.offsets[i]);
+      for (std::size_t p = pad_begin; p < pad_end; ++p) {
+        if (base_[p] != std::byte{0}) {
+          return LoadFail(error, "nonzero inter-section padding before " +
+                                     std::string(kV2SectionNames[i]));
+        }
+      }
+    }
+    for (int i = 0; i < 5; ++i) {
+      std::span<const std::byte> section(
+          base_ + layout.offsets[i], static_cast<std::size_t>(layout.sizes[i]));
+      if (Fnv1a64(section) != ReadU64(base_ + 80 + i * 8)) {
+        return LoadFail(error, std::string("section checksum mismatch (") +
+                                   kV2SectionNames[i] + ")");
+      }
+    }
+  }
+  return ValidateEntries(error);
+}
+
+bool Snapshot::Validate(const SnapshotLoadOptions& options,
+                        std::string* error) {
+  if (size_ < kSnapshotHeaderBytes) {
+    return LoadFail(error, "truncated header: " + std::to_string(size_) +
+                               " bytes");
+  }
+  if (std::memcmp(base_, kSnapshotMagic, 4) != 0) {
+    return LoadFail(error, "bad magic (not a HobbitSnapshot file)");
+  }
+  version_ = ReadU32(base_ + 4);
+  if (version_ == kSnapshotVersion) {
+    if (ReadU32(base_ + 8) != kSnapshotHeaderBytes) {
+      return LoadFail(error, "bad header size field");
+    }
+    std::uint64_t n = ReadU32(base_ + 12);
+    std::uint64_t m = ReadU32(base_ + 16);
+    std::uint64_t h = ReadU32(base_ + 20);
+    epoch_ = ReadU64(base_ + 24);
+    std::uint64_t payload_bytes = ReadU64(base_ + 32);
+    checksum_ = ReadU64(base_ + 40);
+    if (ReadU64(base_ + 48) != 0) {
+      return LoadFail(error, "nonzero reserved field");
+    }
+    if (payload_bytes != PayloadBytesFor(n, m, h)) {
+      return LoadFail(error, "payload size field disagrees with section counts");
+    }
+    if (size_ != kSnapshotHeaderBytes + payload_bytes) {
+      return LoadFail(error, size_ < kSnapshotHeaderBytes + payload_bytes
+                                 ? "truncated payload"
+                                 : "trailing bytes after payload");
+    }
+    entry_count_ = n;
+    block_count_ = m;
+    hop_count_ = h;
+    keys_offset_ = kSnapshotHeaderBytes;
+    entry_blocks_offset_ = keys_offset_ + n * 4;
+    classes_offset_ = entry_blocks_offset_ + n * 4;
+    blocktab_offset_ = classes_offset_ + n + PadTo4(n);
+    hops_offset_ = blocktab_offset_ + m * 12;
+  } else if (version_ == kSnapshotVersion2) {
+    if (size_ < kSnapshotV2HeaderBytes) {
+      return LoadFail(error, "truncated header: " + std::to_string(size_) +
+                                 " bytes");
+    }
+    if (ReadU32(base_ + 8) != kSnapshotV2HeaderBytes) {
+      return LoadFail(error, "bad header size field");
+    }
+    std::uint64_t n = ReadU32(base_ + 12);
+    std::uint64_t m = ReadU32(base_ + 16);
+    std::uint64_t h = ReadU32(base_ + 20);
+    epoch_ = ReadU64(base_ + 24);
+    std::uint64_t file_bytes = ReadU64(base_ + 32);
+    if (ReadU64(base_ + 120) != 0) {
+      return LoadFail(error, "nonzero reserved field");
+    }
+    const V2Layout layout = LayoutV2(n, m, h);
+    for (int i = 0; i < 5; ++i) {
+      if (ReadU64(base_ + 40 + i * 8) != layout.offsets[i]) {
+        return LoadFail(error, std::string("bad section offset (") +
+                                   kV2SectionNames[i] + ")");
+      }
+    }
+    if (file_bytes != layout.file_bytes) {
+      return LoadFail(error, "file size field disagrees with section counts");
+    }
+    if (size_ != file_bytes) {
+      return LoadFail(error, size_ < file_bytes ? "truncated payload"
+                                                : "trailing bytes after payload");
+    }
+    entry_count_ = n;
+    block_count_ = m;
+    hop_count_ = h;
+    keys_offset_ = static_cast<std::size_t>(layout.offsets[0]);
+    entry_blocks_offset_ = static_cast<std::size_t>(layout.offsets[1]);
+    classes_offset_ = static_cast<std::size_t>(layout.offsets[2]);
+    blocktab_offset_ = static_cast<std::size_t>(layout.offsets[3]);
+    hops_offset_ = static_cast<std::size_t>(layout.offsets[4]);
+    // The snapshot identity: FNV-1a folded over the five little-endian
+    // section checksum fields.  Stable across mmap/owned loads and equal
+    // for byte-identical files, so delta base matching works unchanged.
+    checksum_ = Fnv1a64({base_ + 80, 40});
+  } else {
+    return LoadFail(error, "unsupported version " + std::to_string(version_));
+  }
+
+  if (!options.defer_verification) {
+    if (!VerifyPayload(error)) return false;
+    fully_verified_ = true;
+  }
+  return true;
+}
+
+std::optional<Snapshot> Snapshot::FromBuffer(std::vector<std::byte> buffer,
+                                             std::string* error,
+                                             const SnapshotLoadOptions& options) {
+  Snapshot snapshot;
+  snapshot.buffer_ = std::move(buffer);
+  snapshot.Rebase();
+  if (!snapshot.Validate(options, error)) return std::nullopt;
   return snapshot;
 }
 
 std::optional<Snapshot> Snapshot::FromFile(const std::string& path,
-                                           std::string* error) {
+                                           std::string* error,
+                                           const SnapshotLoadOptions& options) {
+  if (options.use_mmap) {
+    std::shared_ptr<const MmapSource> source = MmapSource::Map(path, error);
+    if (source == nullptr) return std::nullopt;
+    Snapshot snapshot;
+    snapshot.map_ = std::move(source);
+    snapshot.Rebase();
+    if (!snapshot.Validate(options, error)) return std::nullopt;
+    return snapshot;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     LoadFail(error, "cannot open " + path);
@@ -280,7 +593,7 @@ std::optional<Snapshot> Snapshot::FromFile(const std::string& path,
     const std::byte* begin = reinterpret_cast<const std::byte*>(chunk);
     buffer.insert(buffer.end(), begin, begin + in.gcount());
   }
-  return FromBuffer(std::move(buffer), error);
+  return FromBuffer(std::move(buffer), error, options);
 }
 
 }  // namespace hobbit::serve

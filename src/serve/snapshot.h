@@ -27,20 +27,53 @@
 //     blocktab  m*12  u32 member_count, u32 hop_offset, u32 hop_count
 //     hops      h*4   u32 last-hop addresses, per-block contiguous runs
 //
+// Layout (HobbitSnapshot v2 — the mmap zero-copy form):
+//
+//   offset  size  field
+//   0       4     magic "HSNP"
+//   4       4     u32 version            (== 2)
+//   8       4     u32 header_bytes      (== 128)
+//   12      4     u32 entry_count    n
+//   16      4     u32 block_count    m
+//   20      4     u32 hop_count      h
+//   24      8     u64 epoch
+//   32      8     u64 file_bytes        (exact total size of the file)
+//   40      8*5   u64 section offsets: keys, blocks, classes, blocktab,
+//                 hops — absolute, each 64-byte aligned, in that order,
+//                 with offset == AlignUp(previous section end, 64); the
+//                 padding bytes between sections are zero.  The layout
+//                 is therefore a pure function of (n, m, h): two
+//                 compiles of the same state are byte-identical.
+//   80      8*5   u64 per-section FNV-1a 64 checksums, same order
+//   120     8     u64 reserved          (== 0)
+//   128           sections (see offsets; same content as the v1 payload
+//                 sections, but individually 64-byte aligned)
+//
+// The v2 alignment means a server can mmap the file and serve straight
+// out of the page cache: every section start is cache-line aligned, no
+// copy, no fixup.  Per-section checksums let a loader verify sections
+// up front (the default) or defer verification for O(1) cold start
+// (SnapshotLoadOptions::defer_verification; call VerifyPayload later).
+//
 // Properties the loader enforces (each has a robustness test):
-//  * exact size: header + payload_bytes, nothing truncated or trailing;
-//  * checksum over the whole payload;
+//  * exact size: header + payload_bytes (v1) / file_bytes (v2), nothing
+//    truncated or trailing; v2 section offsets exactly at the aligned
+//    positions with zero padding between sections;
+//  * checksum over the whole payload (v1) / every section (v2);
 //  * keys strictly ascending (sorted *and* duplicate-free — binary search
 //    needs no further validation);
 //  * every block id below m or kNoBlock, every class a valid enum value
 //    or kNoClass, every blocktab hop run inside the hop pool.
 //
-// A loaded Snapshot is therefore fully trusted by the lookup engine: the
-// hot path does no bounds or validity re-checking.
+// A loaded, verified Snapshot is therefore fully trusted by the lookup
+// engine: the hot path does no bounds or validity re-checking.  A
+// deferred-verification load enforces only the structural half (sizes,
+// offsets) until VerifyPayload is called.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -56,6 +89,10 @@ namespace hobbit::serve {
 inline constexpr char kSnapshotMagic[4] = {'H', 'S', 'N', 'P'};
 inline constexpr std::uint32_t kSnapshotVersion = 1;
 inline constexpr std::uint32_t kSnapshotHeaderBytes = 56;
+inline constexpr std::uint32_t kSnapshotVersion2 = 2;
+inline constexpr std::uint32_t kSnapshotV2HeaderBytes = 128;
+/// Section starts in a v2 snapshot are aligned to this (one cache line).
+inline constexpr std::size_t kSnapshotAlignment = 64;
 
 /// Entry sentinel: measured /24 that belongs to no aggregated block.
 inline constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
@@ -110,6 +147,13 @@ std::vector<std::byte> AssembleSnapshot(
     std::span<const SnapshotEntry> entries, std::span<const std::byte> blocktab,
     std::span<const std::byte> hops, std::uint64_t epoch);
 
+/// Assembles a v2 (64-byte-aligned, section-offset) snapshot from the
+/// same pre-resolved parts.  Deterministic: the layout is a pure
+/// function of the section sizes.
+std::vector<std::byte> AssembleSnapshotV2(
+    std::span<const SnapshotEntry> entries, std::span<const std::byte> blocktab,
+    std::span<const std::byte> hops, std::uint64_t epoch);
+
 /// Lowers a block list plus (optionally empty) per-/24 classifications into
 /// a v1 snapshot buffer.  Equivalent to BuildSnapshotEntries +
 /// AppendBlockTable + AssembleSnapshot.
@@ -118,30 +162,107 @@ std::vector<std::byte> CompileSnapshot(
     std::span<const ClassifiedPrefix> classified = {},
     std::uint64_t epoch = 0);
 
-/// One immutable loaded snapshot.  Owns its buffer; all accessors decode
-/// in place (little-endian loads compile to plain loads on LE hosts).
-/// Copy/move keep the views valid because offsets are relative.
+/// As CompileSnapshot, but emits the v2 layout.
+std::vector<std::byte> CompileSnapshotV2(
+    std::span<const cluster::AggregateBlock> blocks,
+    std::span<const ClassifiedPrefix> classified = {},
+    std::uint64_t epoch = 0);
+
+/// How FromFile/FromBuffer acquire and verify a snapshot.
+struct SnapshotLoadOptions {
+  /// FromFile only: mmap the file (MAP_PRIVATE, read-only) instead of
+  /// reading it into an owned buffer.  Zero-copy: the Snapshot serves
+  /// straight out of the page cache.  Falls back to an owned read on
+  /// platforms without mmap.
+  bool use_mmap = false;
+  /// Skip the O(payload) verification work at load time (checksums and
+  /// the per-entry invariant scan); only the structural header/size/
+  /// offset checks run.  The cold-start win for a large mapped
+  /// snapshot: nothing is faulted in until it is queried.  Callers can
+  /// run the deferred work later via Snapshot::VerifyPayload.
+  bool defer_verification = false;
+};
+
+/// A read-only mapped file (or, on platforms without mmap, an owned copy
+/// of one).  Shared by every Snapshot copy that serves from it; unmapped
+/// when the last reference drops.
+class MmapSource {
+ public:
+  /// Maps `path` read-only.  Returns null (with a message in *error)
+  /// when the file cannot be opened or mapped.
+  static std::shared_ptr<const MmapSource> Map(const std::string& path,
+                                               std::string* error = nullptr);
+  ~MmapSource();
+
+  MmapSource(const MmapSource&) = delete;
+  MmapSource& operator=(const MmapSource&) = delete;
+
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  bool mapped() const { return mapped_; }
+
+ private:
+  MmapSource() = default;
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;                ///< true: munmap; false: owned copy
+  std::vector<std::byte> fallback_;    ///< owns the bytes when !mapped_
+};
+
+/// One immutable loaded snapshot.  Backed either by an owned buffer or
+/// by a shared MmapSource; all accessors decode in place (little-endian
+/// loads compile to plain loads on LE hosts).  Copy/move rebase the
+/// cached base pointer, so copies stay valid and cheap (an mmap-backed
+/// copy shares the mapping).
 class Snapshot {
  public:
+  /// An empty snapshot (no entries, no backing store); assign a loaded
+  /// one over it.
+  Snapshot() = default;
+
   /// Validates and adopts `buffer`.  On any violation of the format
   /// contract returns nullopt and, when `error` is non-null, a message
   /// naming the first violated property.
-  static std::optional<Snapshot> FromBuffer(std::vector<std::byte> buffer,
-                                            std::string* error = nullptr);
+  static std::optional<Snapshot> FromBuffer(
+      std::vector<std::byte> buffer, std::string* error = nullptr,
+      const SnapshotLoadOptions& options = {});
 
-  /// Reads a whole file then delegates to FromBuffer.
-  static std::optional<Snapshot> FromFile(const std::string& path,
-                                          std::string* error = nullptr);
+  /// Reads (or, per `options`, maps) a file and validates it.
+  static std::optional<Snapshot> FromFile(
+      const std::string& path, std::string* error = nullptr,
+      const SnapshotLoadOptions& options = {});
+
+  Snapshot(const Snapshot& other);
+  Snapshot& operator=(const Snapshot& other);
+  Snapshot(Snapshot&& other) noexcept;
+  Snapshot& operator=(Snapshot&& other) noexcept;
 
   std::size_t entry_count() const { return entry_count_; }
   std::size_t block_count() const { return block_count_; }
   std::size_t hop_count() const { return hop_count_; }
   std::uint64_t epoch() const { return epoch_; }
+  /// v1: the payload checksum.  v2: FNV-1a 64 folded over the five
+  /// little-endian section checksums — a stable identity for delta
+  /// base matching either way.
   std::uint64_t checksum() const { return checksum_; }
-  std::size_t buffer_bytes() const { return buffer_.size(); }
+  /// Serialized format version (1 or 2).
+  std::uint32_t version() const { return version_; }
+  /// True when the payload checks (checksums + invariant scan) have run.
+  bool fully_verified() const { return fully_verified_; }
+  /// True when the snapshot serves from a live mmap (zero-copy).
+  bool is_mapped() const { return map_ != nullptr && map_->mapped(); }
+  std::size_t buffer_bytes() const { return size_; }
   /// The full serialized form (header + payload), e.g. for byte-level
   /// comparison against a reference compile or for re-serialization.
-  std::span<const std::byte> bytes() const { return buffer_; }
+  std::span<const std::byte> bytes() const { return {base_, size_}; }
+
+  /// Runs the deferred payload verification (section checksums, entry
+  /// and hop-run invariants, v2 inter-section padding).  Returns false
+  /// with a message in *error on the first violated property.  Pure:
+  /// safe to call from any thread on a shared const snapshot.
+  bool VerifyPayload(std::string* error = nullptr) const;
 
   /// The i-th /24 base address (host order).  Strictly ascending in i.
   std::uint32_t EntryKey(std::size_t i) const {
@@ -153,7 +274,7 @@ class Snapshot {
   }
   /// The i-th entry's Classification value, or kNoClass.
   std::uint8_t EntryClass(std::size_t i) const {
-    return static_cast<std::uint8_t>(buffer_[classes_offset_ + i]);
+    return static_cast<std::uint8_t>(base_[classes_offset_ + i]);
   }
   netsim::Prefix EntryPrefix(std::size_t i) const {
     return netsim::Prefix::Of(netsim::Ipv4Address(EntryKey(i)), 24);
@@ -171,8 +292,20 @@ class Snapshot {
 
  private:
   std::uint32_t LoadU32(std::size_t offset) const;
+  void Rebase();
+  /// Shared loader: validates the already-adopted storage.
+  bool Validate(const SnapshotLoadOptions& options, std::string* error);
+  bool ValidateEntries(std::string* error) const;
 
+  /// Exactly one of these backs the snapshot.
   std::vector<std::byte> buffer_;
+  std::shared_ptr<const MmapSource> map_;
+  /// Cached view over the active backing store.
+  const std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+
+  std::uint32_t version_ = kSnapshotVersion;
+  bool fully_verified_ = false;
   std::size_t entry_count_ = 0;
   std::size_t block_count_ = 0;
   std::size_t hop_count_ = 0;

@@ -14,9 +14,9 @@ const char* ToString(PublishKind kind) {
   return "?";
 }
 
-bool SnapshotStore::ReloadFromFile(const std::string& path,
-                                   std::string* error) {
-  std::optional<Snapshot> loaded = Snapshot::FromFile(path, error);
+bool SnapshotStore::ReloadFromFile(const std::string& path, std::string* error,
+                                   const SnapshotLoadOptions& options) {
+  std::optional<Snapshot> loaded = Snapshot::FromFile(path, error, options);
   if (!loaded) {
     failed_reloads_.fetch_add(1, std::memory_order_relaxed);
     return false;

@@ -68,10 +68,13 @@ class SnapshotStore {
     return SwapWithKind(std::move(snapshot), kind, 0);
   }
 
-  /// Validates `path` as a v1 snapshot and swaps it in on success.  On
-  /// failure returns false, stores a message in *error (when non-null)
-  /// and leaves the served snapshot untouched.
-  bool ReloadFromFile(const std::string& path, std::string* error = nullptr);
+  /// Validates `path` as a snapshot (v1 or v2) and swaps it in on
+  /// success.  `options` selects mmap zero-copy and/or deferred payload
+  /// verification (see SnapshotLoadOptions); the default is the owned,
+  /// fully-verified read.  On failure returns false, stores a message in
+  /// *error (when non-null) and leaves the served snapshot untouched.
+  bool ReloadFromFile(const std::string& path, std::string* error = nullptr,
+                      const SnapshotLoadOptions& options = {});
 
   /// Applies an HSPT patch (serve/delta.h) to the current snapshot and
   /// publishes the result.  Validation is end-to-end: the patch itself

@@ -23,6 +23,18 @@ inline void AppendU64(std::vector<std::byte>& out, std::uint64_t value) {
   }
 }
 
+inline void StoreU32(std::byte* p, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::byte>((value >> (i * 8)) & 0xFF);
+  }
+}
+
+inline void StoreU64(std::byte* p, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::byte>((value >> (i * 8)) & 0xFF);
+  }
+}
+
 inline std::uint32_t ReadU32(const std::byte* p) {
   std::uint32_t value = 0;
   for (int i = 3; i >= 0; --i) {

@@ -3,12 +3,15 @@
 // cluster::BlockIndex (the reference implementation).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "cluster/blockio.h"
 #include "hobbit/pipeline.h"
 #include "netsim/internet.h"
+#include "netsim/rng.h"
 #include "serve/lookup.h"
 #include "serve/snapshot.h"
 #include "test_util.h"
@@ -233,6 +236,238 @@ TEST(BlockIndex, AddressOverloadMatchesPrefixOverload) {
   EXPECT_EQ(index.BlockOf(Addr("99.1.3.1")), -1);
   EXPECT_EQ(index.BlockOf(Pfx("20.0.0.0/16")), -1);
   EXPECT_EQ(index.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// HSNP v2: the 64-byte-aligned, section-offset layout hobbit_serve can
+// mmap and serve zero-copy.
+
+std::uint64_t HeaderU64(std::span<const std::byte> buffer,
+                        std::size_t offset) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(buffer[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+TEST(SnapshotV2, LayoutInvariants) {
+  auto buffer = CompileSnapshotV2(SampleBlocks(), SampleClassified(), 7);
+  ASSERT_GE(buffer.size(), kSnapshotV2HeaderBytes);
+  // file_bytes field matches reality; every section offset is 64-byte
+  // aligned, ascending, and inside the file.
+  EXPECT_EQ(HeaderU64(buffer, 32), buffer.size());
+  std::uint64_t previous = kSnapshotV2HeaderBytes;
+  for (int section = 0; section < 5; ++section) {
+    const std::uint64_t offset = HeaderU64(buffer, 40 + section * 8);
+    EXPECT_EQ(offset % kSnapshotAlignment, 0u) << "section " << section;
+    EXPECT_GE(offset, previous) << "section " << section;
+    EXPECT_LE(offset, buffer.size()) << "section " << section;
+    previous = offset;
+  }
+  Snapshot snapshot = MustLoad(std::move(buffer));
+  EXPECT_EQ(snapshot.version(), kSnapshotVersion2);
+  EXPECT_TRUE(snapshot.fully_verified());
+}
+
+TEST(SnapshotV2, DeterministicBytes) {
+  auto blocks = SampleBlocks();
+  EXPECT_EQ(CompileSnapshotV2(blocks, SampleClassified(), 9),
+            CompileSnapshotV2(blocks, SampleClassified(), 9));
+}
+
+// v1 and v2 compiled from the same state must agree on every accessor
+// and answer every lookup identically.
+TEST(SnapshotV2, AccessorEquivalenceWithV1) {
+  auto blocks = SampleBlocks();
+  Snapshot v1 = MustLoad(CompileSnapshot(blocks, SampleClassified(), 12));
+  Snapshot v2 = MustLoad(CompileSnapshotV2(blocks, SampleClassified(), 12));
+  EXPECT_EQ(v1.version(), kSnapshotVersion);
+  EXPECT_EQ(v2.version(), kSnapshotVersion2);
+  ASSERT_EQ(v1.entry_count(), v2.entry_count());
+  ASSERT_EQ(v1.block_count(), v2.block_count());
+  EXPECT_EQ(v1.hop_count(), v2.hop_count());
+  EXPECT_EQ(v1.epoch(), v2.epoch());
+  for (std::size_t i = 0; i < v1.entry_count(); ++i) {
+    EXPECT_EQ(v1.EntryKey(i), v2.EntryKey(i)) << i;
+    EXPECT_EQ(v1.EntryBlock(i), v2.EntryBlock(i)) << i;
+    EXPECT_EQ(v1.EntryClass(i), v2.EntryClass(i)) << i;
+  }
+  for (std::size_t b = 0; b < v1.block_count(); ++b) {
+    EXPECT_EQ(v1.BlockMemberCount(b), v2.BlockMemberCount(b)) << b;
+    EXPECT_EQ(v1.BlockLastHops(b), v2.BlockLastHops(b)) << b;
+  }
+  LookupEngine engine1(v1);
+  LookupEngine engine2(v2);
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    const netsim::Ipv4Address query((i * 2654435761u) & 0xFFFFFF00u);
+    LookupResult a = engine1.Lookup(query);
+    LookupResult r = engine2.Lookup(query);
+    EXPECT_EQ(a.found, r.found) << i;
+    EXPECT_EQ(a.block, r.block) << i;
+    EXPECT_EQ(a.class_token, r.class_token) << i;
+  }
+}
+
+TEST(SnapshotV2, MmapMatchesOwnedBuffer) {
+  std::string path = ::testing::TempDir() + "serve_v2_mmap.snap";
+  auto buffer = CompileSnapshotV2(SampleBlocks(), SampleClassified(), 4);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+  }
+  std::string error;
+  auto owned = Snapshot::FromFile(path, &error);
+  ASSERT_TRUE(owned.has_value()) << error;
+  SnapshotLoadOptions options;
+  options.use_mmap = true;
+  auto mapped = Snapshot::FromFile(path, &error, options);
+  ASSERT_TRUE(mapped.has_value()) << error;
+  EXPECT_FALSE(owned->is_mapped());
+
+  // Byte identity of the served image, however it is stored.
+  auto owned_bytes = owned->bytes();
+  auto mapped_bytes = mapped->bytes();
+  ASSERT_EQ(owned_bytes.size(), mapped_bytes.size());
+  EXPECT_EQ(std::memcmp(owned_bytes.data(), mapped_bytes.data(),
+                        owned_bytes.size()),
+            0);
+  EXPECT_TRUE(mapped->fully_verified());  // eager verification by default
+
+  // Lookup identity, including through copies (the shared mapping must
+  // survive Snapshot copies — that is how SnapshotStore republishes).
+  Snapshot copy = *mapped;
+  LookupEngine owned_engine(*owned);
+  LookupEngine mapped_engine(copy);
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    const netsim::Ipv4Address query((i * 2654435761u) & 0xFFFFFF00u);
+    LookupResult a = owned_engine.Lookup(query);
+    LookupResult b = mapped_engine.Lookup(query);
+    EXPECT_EQ(a.found, b.found) << i;
+    EXPECT_EQ(a.block, b.block) << i;
+    EXPECT_EQ(a.class_token, b.class_token) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2, DeferredVerificationIsOnDemand) {
+  std::string path = ::testing::TempDir() + "serve_v2_defer.snap";
+  auto buffer = CompileSnapshotV2(SampleBlocks(), SampleClassified(), 4);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+  }
+  SnapshotLoadOptions options;
+  options.use_mmap = true;
+  options.defer_verification = true;
+  std::string error;
+  auto deferred = Snapshot::FromFile(path, &error, options);
+  ASSERT_TRUE(deferred.has_value()) << error;
+  EXPECT_FALSE(deferred->fully_verified());
+  EXPECT_TRUE(deferred->VerifyPayload(&error)) << error;
+  std::remove(path.c_str());
+
+  // Corrupt one payload byte: structural (header) checks still pass at
+  // load, and the deferred verification catches it when finally asked.
+  auto corrupt = buffer;
+  corrupt[corrupt.size() - 1] ^= std::byte{0x40};
+  SnapshotLoadOptions defer_only;
+  defer_only.defer_verification = true;
+  auto snapshot = Snapshot::FromBuffer(corrupt, &error, defer_only);
+  ASSERT_TRUE(snapshot.has_value()) << error;
+  std::string verify_error;
+  EXPECT_FALSE(snapshot->VerifyPayload(&verify_error));
+  EXPECT_FALSE(verify_error.empty());
+  // The same corruption is rejected outright under eager verification.
+  EXPECT_FALSE(Snapshot::FromBuffer(corrupt, &error).has_value());
+}
+
+// ---------------------------------------------------------------------
+// EytzingerIndex: differential against the sorted-array searches.
+
+TEST(EytzingerIndex, MatchesStdLowerAndUpperBound) {
+  for (std::size_t count :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{7},
+        std::size_t{64}, std::size_t{1000}, std::size_t{4097}}) {
+    std::vector<std::uint32_t> keys(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      keys[i] = static_cast<std::uint32_t>(i * 977 + (i % 3));
+    }
+    EytzingerIndex index = EytzingerIndex::Build(keys);
+    ASSERT_EQ(index.size(), count);
+    auto check = [&](std::uint32_t q) {
+      const auto lower = static_cast<std::size_t>(
+          std::lower_bound(keys.begin(), keys.end(), q) - keys.begin());
+      const auto upper = static_cast<std::size_t>(
+          std::upper_bound(keys.begin(), keys.end(), q) - keys.begin());
+      EXPECT_EQ(index.LowerBoundRank(q), lower) << q;
+      EXPECT_EQ(index.UpperBoundRank(q), upper) << q;
+      const bool present = lower < count && keys[lower] == q;
+      EXPECT_EQ(index.Find(q), present ? lower : EytzingerIndex::npos) << q;
+    };
+    check(0);
+    check(0xFFFFFFFFu);
+    for (std::uint32_t q : keys) {
+      check(q);
+      check(q + 1);
+      check(q == 0 ? 0 : q - 1);
+    }
+    netsim::Rng rng(count + 17);
+    for (int i = 0; i < 500; ++i) {
+      check(static_cast<std::uint32_t>(rng.Next()));
+    }
+  }
+}
+
+TEST(EytzingerIndex, EngineWithIndexMatchesEngineWithout) {
+  netsim::Internet internet = netsim::BuildInternet(netsim::TinyConfig(62));
+  core::PipelineConfig config;
+  config.seed = 62;
+  config.calibration_blocks = 40;
+  core::PipelineResult result = core::RunPipeline(internet, config);
+  auto aggregates = cluster::AggregateIdentical(result.HomogeneousBlocks());
+  Snapshot snapshot = MustLoad(CompileSnapshotV2(
+      aggregates,
+      ClassifiedFrom(std::span<const core::BlockResult>(result.results)),
+      62));
+  EytzingerIndex index = EytzingerIndex::Build(snapshot);
+  ASSERT_EQ(index.size(), snapshot.entry_count());
+  LookupEngine plain(snapshot);
+  LookupEngine indexed(snapshot, &index);
+  netsim::Rng rng(62);
+  auto check_pair = [&](netsim::Ipv4Address query) {
+    LookupResult a = plain.Lookup(query);
+    LookupResult b = indexed.Lookup(query);
+    EXPECT_EQ(a.found, b.found) << query.value();
+    EXPECT_EQ(a.block, b.block) << query.value();
+    EXPECT_EQ(a.class_token, b.class_token) << query.value();
+  };
+  for (std::size_t i = 0; i < snapshot.entry_count(); ++i) {
+    check_pair(netsim::Ipv4Address(snapshot.EntryKey(i)));
+    check_pair(netsim::Ipv4Address(snapshot.EntryKey(i) + 256));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    check_pair(netsim::Ipv4Address(static_cast<std::uint32_t>(rng.Next())));
+  }
+  // Covering queries share the accelerated lower/upper bounds.
+  for (int length : {0, 8, 16, 24}) {
+    for (int i = 0; i < 64; ++i) {
+      const netsim::Prefix p = netsim::Prefix::Of(
+          netsim::Ipv4Address(static_cast<std::uint32_t>(rng.Next())),
+          length);
+      EntryRange a = plain.Covering(p);
+      EntryRange b = indexed.Covering(p);
+      EXPECT_EQ(a.begin, b.begin) << p.ToString();
+      EXPECT_EQ(a.end, b.end) << p.ToString();
+    }
+  }
+  // A size-mismatched index is refused (engine falls back to binary
+  // search rather than descending a stale layout).
+  Snapshot empty = MustLoad(CompileSnapshotV2({}, {}, 0));
+  LookupEngine guarded(empty, &index);
+  EXPECT_FALSE(guarded.Lookup(netsim::Ipv4Address(0)).found);
 }
 
 }  // namespace

@@ -37,13 +37,18 @@ void HandleSignal(int) {
 int Usage() {
   std::cerr <<
       "usage: hobbit_serve [--snapshot FILE] [--threads N] [--stdio]\n"
+      "                    [--mmap] [--mmap-verify]\n"
       "                    [--listen ADDR] [--port P]\n"
       "                    [--max-connections N] [--idle-timeout-ms T]\n"
       "                    [--use-poll]\n"
       "  serves LOOKUP/BATCH/RELOAD/STATS/QUIT; without --snapshot,\n"
-      "  start empty and load via RELOAD.  Default transport is\n"
-      "  stdin/stdout; --listen/--port starts the multi-client TCP\n"
-      "  server (--port 0 picks an ephemeral port, printed to stderr).\n";
+      "  start empty and load via RELOAD.  --mmap serves snapshots\n"
+      "  zero-copy straight from the page cache with per-section\n"
+      "  checksums deferred (structural checks still run at load);\n"
+      "  --mmap-verify maps but verifies checksums up front.  Default\n"
+      "  transport is stdin/stdout; --listen/--port starts the\n"
+      "  multi-client TCP server (--port 0 picks an ephemeral port,\n"
+      "  printed to stderr).\n";
   return 2;
 }
 
@@ -54,12 +59,19 @@ int main(int argc, char** argv) {
   int threads = 1;
   bool stdio = true;
   hobbit::serve::ReactorOptions options;
+  hobbit::serve::SnapshotLoadOptions load_options;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--snapshot" && i + 1 < argc) {
       snapshot_path = argv[++i];
     } else if (flag == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (flag == "--mmap") {
+      load_options.use_mmap = true;
+      load_options.defer_verification = true;
+    } else if (flag == "--mmap-verify") {
+      load_options.use_mmap = true;
+      load_options.defer_verification = false;
     } else if (flag == "--stdio") {
       stdio = true;
     } else if (flag == "--listen" && i + 1 < argc) {
@@ -86,7 +98,7 @@ int main(int argc, char** argv) {
   hobbit::serve::ServeMetrics metrics;
   if (!snapshot_path.empty()) {
     std::string error;
-    if (!store.ReloadFromFile(snapshot_path, &error)) {
+    if (!store.ReloadFromFile(snapshot_path, &error, load_options)) {
       std::cerr << "cannot load snapshot: " << error << "\n";
       return 1;
     }
@@ -95,19 +107,24 @@ int main(int argc, char** argv) {
     std::cerr << "serving " << snapshot_path << ": "
               << snapshot->entry_count() << " /24s, "
               << snapshot->block_count() << " blocks, epoch "
-              << snapshot->epoch() << "\n";
+              << snapshot->epoch()
+              << (snapshot->is_mapped() ? " (mmap)" : "")
+              << (snapshot->fully_verified() ? "" : " (deferred verify)")
+              << "\n";
   } else {
     std::cerr << "no snapshot loaded; waiting for RELOAD\n";
   }
 
   if (stdio) {
     hobbit::serve::LineService service(&store, &metrics, &pool);
+    service.set_reload_options(load_options);
     std::size_t commands = service.Run(std::cin, std::cout);
     std::cerr << "session end: " << commands << " command(s)\n";
     return 0;
   }
 
   hobbit::serve::Reactor reactor(&store, &metrics, &pool, options);
+  reactor.service()->set_reload_options(load_options);
   std::string error;
   if (!reactor.Listen(&error)) {
     std::cerr << "cannot listen on " << options.bind_address << ":"

@@ -75,7 +75,7 @@ Args ParseArgs(int argc, char** argv) {
       std::string name = token.substr(2);
       // Boolean flags take no value; value flags consume the next token.
       if (name == "mcl" || name == "mda" || name == "verify" ||
-          name == "mda-lite" || name == "stream") {
+          name == "mda-lite" || name == "stream" || name == "v2") {
         args.flags[name] = "1";
       } else if (i + 1 < argc) {
         args.flags[name] = argv[++i];
@@ -110,7 +110,7 @@ int Usage() {
       "  lookup     <prefix/24> --blocks FILE\n"
       "  export-snapshot --out FILE [--blocks FILE [--results FILE]]\n"
       "             [--seed N] [--scale S] [--threads T] [--mcl]\n"
-      "             [--epoch E]\n"
+      "             [--epoch E] [--v2]\n"
       "  stream-campaign [--seed N] [--scale S] [--threads T]\n"
       "             [--window W] [--segment B] [--publish-every K]\n"
       "             [--churn-every M] [--verify] [--out FILE] [--epoch E]\n"
@@ -450,8 +450,11 @@ int CmdExportSnapshot(const Args& args) {
     classified = serve::ClassifiedFrom(
         std::span<const core::BlockResult>(result.results));
   }
+  // --v2 emits the 64-byte-aligned mmap-servable layout (HSNP v2);
+  // default stays the v1 packed form.
   std::vector<std::byte> snapshot =
-      serve::CompileSnapshot(blocks, classified, epoch);
+      args.Has("v2") ? serve::CompileSnapshotV2(blocks, classified, epoch)
+                     : serve::CompileSnapshot(blocks, classified, epoch);
   std::ofstream out(args.Get("out", ""), std::ios::binary);
   if (!out ||
       !out.write(reinterpret_cast<const char*>(snapshot.data()),
@@ -461,7 +464,8 @@ int CmdExportSnapshot(const Args& args) {
   }
   std::cout << "snapshot (" << blocks.size() << " blocks, "
             << classified.size() << " classified /24s, "
-            << snapshot.size() << " bytes, epoch " << epoch << ") -> "
+            << snapshot.size() << " bytes, epoch " << epoch
+            << (args.Has("v2") ? ", v2" : "") << ") -> "
             << args.Get("out", "") << "\n";
   return 0;
 }
