@@ -1,13 +1,27 @@
 // bench_microperf — google-benchmark microbenchmarks of the hot paths:
-// FIB longest-prefix match, probe simulation, hierarchy testing, MCL and
-// the ZMap sweep.  These bound the wall-clock cost of the paper-scale
-// experiments (the paper probed 64.45M destinations; the harness must
-// sustain millions of simulated probes per second).
+// FIB longest-prefix match, probe simulation, hierarchy testing, MCL,
+// the ZMap sweep and the dispatch-tier SIMD kernels.  These bound the
+// wall-clock cost of the paper-scale experiments (the paper probed
+// 64.45M destinations; the harness must sustain millions of simulated
+// probes per second).
+//
+// Besides google-benchmark's own console/JSON output, the binary writes
+// BENCH_microperf.json through the shared reporter with the dispatch
+// tier actually selected (`simd_tier` — HOBBIT_SIMD-clamped) and the
+// host's capability string (`cpu_features`), so checked-in numbers are
+// attributable to the kernel tier that produced them.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
 #include "cluster/mcl.h"
+#include "common.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "hobbit/hierarchy.h"
 #include "netsim/internet.h"
 #include "netsim/rng.h"
@@ -134,6 +148,58 @@ void BM_ZmapScanPerBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_ZmapScanPerBlock);
 
+// The dispatch-layer kernels on one L1-resident MCL-shaped column
+// (square_accumulate + divide + filter_ge, the fused-iteration inner
+// loop).  Arg = tier; unsupported tiers report a skip rather than
+// silently benchmarking a clamped fallback.
+void BM_SimdColumnSweep(benchmark::State& state) {
+  const auto tier = static_cast<common::simd::Tier>(state.range(0));
+  if (!common::simd::TierSupported(tier)) {
+    state.SkipWithError("tier not executable on this host/build");
+    return;
+  }
+  const common::simd::Kernels& kernels = common::simd::KernelsFor(tier);
+  constexpr std::size_t kCount = 224;
+  netsim::Rng rng(11);
+  std::vector<double> pristine(kCount);
+  for (double& v : pristine) v = 0.1 + 0.9 * rng.NextUnit();
+  std::vector<double> column(kCount);
+  std::vector<std::uint32_t> tags(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    tags[i] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::pair<double, std::uint32_t>> kept(kCount);
+  for (auto _ : state) {
+    std::memcpy(column.data(), pristine.data(), kCount * sizeof(double));
+    const double sum = kernels.square_accumulate(column.data(), kCount);
+    kernels.divide(column.data(), kCount, sum);
+    benchmark::DoNotOptimize(kernels.filter_ge(
+        column.data(), tags.data(), kCount, 0.5 / kCount, kept.data()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kCount));
+}
+BENCHMARK(BM_SimdColumnSweep)
+    ->Arg(static_cast<int>(common::simd::Tier::kScalar))
+    ->Arg(static_cast<int>(common::simd::Tier::kSse2))
+    ->Arg(static_cast<int>(common::simd::Tier::kAvx2));
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Attribute the numbers: which kernel tier dispatch actually selected
+  // (the HOBBIT_SIMD override, clamped to the hardware) and what the
+  // hardware could support.
+  hobbit::bench::JsonReporter report("microperf");
+  report.Metric("simd_tier",
+                std::string(hobbit::common::simd::TierName(
+                    hobbit::common::simd::ActiveTier())));
+  report.Metric("cpu_features", hobbit::common::simd::CpuFeatureString());
+  report.Write();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 
 namespace hobbit::cluster {
 namespace {
@@ -14,13 +15,21 @@ namespace {
 // larger matrices split into one contiguous chunk per shard.
 constexpr std::size_t kColumnGrain = 64;
 
-// Entry-wise inflation power.  The canonical MCL inflation (2.0) is a
-// single multiply — both round the exact value of x², so x*x and a
-// correctly-rounded pow agree, and more importantly the standalone
-// Inflate kernel and the fused iteration call this one function, which
-// keeps fused == unfused bit-identity independent of the libm pow path.
-inline double InflatePow(double value, double power) {
-  return power == 2.0 ? value * value : std::pow(value, power);
+// Inflation sweep over one contiguous column: pow every entry in place
+// and return the column sum in the simd layer's fixed lane order (see
+// simd.h).  The canonical MCL inflation (2.0) is the vector kernel's
+// single multiply — x*x and a correctly-rounded pow round identically —
+// and other powers take a scalar libm pass followed by the same
+// lane-ordered reduction.  The standalone Inflate kernel and the fused
+// iteration both call this one function, which keeps fused == unfused
+// bit-identity independent of the power and of the dispatched tier.
+inline double InflateSweep(double* values, std::size_t count, double power,
+                           const common::simd::Kernels& kernels) {
+  if (power == 2.0) return kernels.square_accumulate(values, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values[i] = std::pow(values[i], power);
+  }
+  return kernels.sum(values, count);
 }
 
 // Pruning selection, shared verbatim by Prune and the fused iteration:
@@ -88,43 +97,44 @@ SparseMatrix SparseMatrix::FromTriplets(std::uint32_t n,
 }
 
 void SparseMatrix::NormalizeColumns(common::ThreadPool* pool) {
-  common::ForEachChunk(pool, n_, kColumnGrain, [this](
-                                                   common::ChunkRange chunk) {
-    for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
-      double sum = 0.0;
-      for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-        sum += values_[i];
-      }
-      if (sum <= 0.0) continue;
-      for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-        values_[i] /= sum;
-      }
-    }
-  });
+  // Columns are contiguous value slices, so the reduction and the
+  // divide run through the dispatched simd kernels; the lane-ordered
+  // sum is bit-identical in every tier (simd.h contract), so the result
+  // depends on neither the thread count nor the dispatched ISA.
+  const common::simd::Kernels& kernels = common::simd::Active();
+  common::ForEachChunk(
+      pool, n_, kColumnGrain, [this, &kernels](common::ChunkRange chunk) {
+        for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
+          double* column = values_.data() + col_start_[c];
+          const std::size_t count = col_start_[c + 1] - col_start_[c];
+          const double sum = kernels.sum(column, count);
+          if (sum <= 0.0) continue;
+          kernels.divide(column, count, sum);
+        }
+      });
 }
 
 void SparseMatrix::Inflate(double power, common::ThreadPool* pool) {
   // Fused per-column pow + renormalize: each column's floating-point
-  // operations run in the same order as the serial pow-then-normalize,
-  // so results cannot depend on the thread count.
+  // operations run in the fixed per-column order of the simd contract,
+  // so results cannot depend on the thread count or dispatched tier.
+  const common::simd::Kernels& kernels = common::simd::Active();
   common::ForEachChunk(
-      pool, n_, kColumnGrain, [this, power](common::ChunkRange chunk) {
+      pool, n_, kColumnGrain,
+      [this, power, &kernels](common::ChunkRange chunk) {
         for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
-          double sum = 0.0;
-          for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-            values_[i] = InflatePow(values_[i], power);
-            sum += values_[i];
-          }
+          double* column = values_.data() + col_start_[c];
+          const std::size_t count = col_start_[c + 1] - col_start_[c];
+          const double sum = InflateSweep(column, count, power, kernels);
           if (sum <= 0.0) continue;
-          for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-            values_[i] /= sum;
-          }
+          kernels.divide(column, count, sum);
         }
       });
 }
 
 void SparseMatrix::Prune(double threshold, std::size_t max_per_column,
                          common::ThreadPool* pool) {
+  const common::simd::Kernels& kernels = common::simd::Active();
   if (!common::IsParallel(pool)) {
     std::vector<std::size_t> new_start(n_ + 1, 0);
     std::vector<std::uint32_t> new_rows;
@@ -133,10 +143,11 @@ void SparseMatrix::Prune(double threshold, std::size_t max_per_column,
     new_values.reserve(values_.size());
     std::vector<std::pair<double, std::uint32_t>> kept;
     for (std::uint32_t c = 0; c < n_; ++c) {
-      kept.clear();
-      for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-        if (values_[i] >= threshold) kept.emplace_back(values_[i], rows_[i]);
-      }
+      const std::size_t count = col_start_[c + 1] - col_start_[c];
+      kept.resize(count);
+      kept.resize(kernels.filter_ge(values_.data() + col_start_[c],
+                                    rows_.data() + col_start_[c], count,
+                                    threshold, kept.data()));
       SelectTopThenSortByRow(kept, max_per_column);
       for (const auto& [value, row] : kept) {
         new_rows.push_back(row);
@@ -163,10 +174,11 @@ void SparseMatrix::Prune(double threshold, std::size_t max_per_column,
     out.counts.reserve(chunk.size());
     std::vector<std::pair<double, std::uint32_t>> kept;
     for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
-      kept.clear();
-      for (std::size_t i = col_start_[c]; i < col_start_[c + 1]; ++i) {
-        if (values_[i] >= threshold) kept.emplace_back(values_[i], rows_[i]);
-      }
+      const std::size_t count = col_start_[c + 1] - col_start_[c];
+      kept.resize(count);
+      kept.resize(kernels.filter_ge(values_.data() + col_start_[c],
+                                    rows_.data() + col_start_[c], count,
+                                    threshold, kept.data()));
       SelectTopThenSortByRow(kept, max_per_column);
       for (const auto& [value, row] : kept) {
         out.rows.push_back(row);
@@ -297,8 +309,9 @@ SparseMatrix SparseMatrix::MclIterate(double inflation,
   // convergence delta without leaving its shard.  Per column the
   // floating-point operations and their order are exactly those of the
   // Multiply → Inflate → Prune call sequence (see the pinning test in
-  // tests/test_sparse.cpp), so the fusion — like the thread count —
-  // cannot change a single bit of the result.
+  // tests/test_sparse.cpp), so the fusion — like the thread count and
+  // the dispatched simd tier — cannot change a single bit of the result.
+  const common::simd::Kernels& kernels = common::simd::Active();
   SparseMatrix result(n_);
   const std::size_t slots =
       pool != nullptr ? static_cast<std::size_t>(pool->thread_count()) : 1;
@@ -345,26 +358,28 @@ SparseMatrix SparseMatrix::MclIterate(double inflation,
         column[t] = accumulator[r];
         accumulator[r] = 0.0;
       }
-      // Inflation: pow every entry in row order, then normalize
-      // (columns summing to zero stay unnormalized, as in Inflate).
-      double sum = 0.0;
-      for (std::size_t t = 0; t < touched_count; ++t) {
-        column[t] = InflatePow(column[t], inflation);
-        sum += column[t];
-      }
+      // Inflation sweep (vector kernel): pow every entry in row order,
+      // then normalize (columns summing to zero stay unnormalized, as
+      // in Inflate).
+      const double sum =
+          InflateSweep(column.data(), touched_count, inflation, kernels);
       if (sum > 0.0) {
-        for (std::size_t t = 0; t < touched_count; ++t) column[t] /= sum;
+        kernels.divide(column.data(), touched_count, sum);
       }
-      // Pruning + renormalization over the kept entries.
-      kept.clear();
-      for (std::size_t t = 0; t < touched_count; ++t) {
-        if (column[t] >= prune_threshold) {
-          kept.emplace_back(column[t], touched[t]);
-        }
-      }
+      // Pruning (vector compare + compaction) + renormalization over
+      // the kept entries.  The kept sum reduces through LaneAccumulator
+      // — the same fixed order NormalizeColumns' kernel uses over the
+      // pruned column in the unfused path.
+      kept.resize(touched_count);
+      kept.resize(kernels.filter_ge(column.data(), touched.data(),
+                                    touched_count, prune_threshold,
+                                    kept.data()));
       SelectTopThenSortByRow(kept, max_per_column);
-      double kept_sum = 0.0;
-      for (const auto& [value, row] : kept) kept_sum += value;
+      common::simd::LaneAccumulator kept_acc;
+      for (std::size_t t = 0; t < kept.size(); ++t) {
+        kept_acc.Add(t, kept[t].first);
+      }
+      const double kept_sum = kept_acc.Combine();
       if (kept_sum > 0.0) {
         for (auto& [value, row] : kept) value /= kept_sum;
       }

@@ -5,7 +5,33 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 namespace hobbit::common {
+
+void Arena::AdviseHugePages(const Chunk& chunk) const {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (!huge_pages_ || chunk.usable < kHugePageBytes) return;
+  // madvise wants page granularity; new[] storage is not page-aligned,
+  // so advise the page-aligned interior of the usable region.  Advisory
+  // only — failures (THP disabled, old kernel) are deliberately ignored.
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return;
+  const auto page_size = static_cast<std::uintptr_t>(page);
+  const auto base =
+      reinterpret_cast<std::uintptr_t>(chunk.data.get() + chunk.origin);
+  const std::uintptr_t lo = AlignUp(base, page_size);
+  const std::uintptr_t hi = (base + chunk.usable) & ~(page_size - 1);
+  if (hi > lo) {
+    (void)::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+  }
+#else
+  (void)chunk;
+#endif
+}
 
 void* Arena::AllocateSlow(std::size_t bytes, std::size_t alignment) {
   if (alignment == 0 || (alignment & (alignment - 1)) != 0 ||
@@ -39,6 +65,7 @@ void* Arena::AllocateSlow(std::size_t bytes, std::size_t alignment) {
   const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
   chunk.origin = AlignUp(base, kMaxAlignment) - base;
   chunk.usable = raw - chunk.origin;
+  AdviseHugePages(chunk);
   chunks_.push_back(std::move(chunk));
   chunk_index_ = chunks_.size() - 1;
   cursor_ = bytes;

@@ -41,10 +41,28 @@ class Arena {
   static constexpr std::size_t kMaxChunkBytes = 1u << 23;
   /// Largest honored alignment (one cache line).
   static constexpr std::size_t kMaxAlignment = 64;
+  /// Chunks at least this large are eligible for transparent huge pages
+  /// (the kernel's THP unit on x86-64).
+  static constexpr std::size_t kHugePageBytes = 2u << 20;
+
+  struct Options {
+    std::size_t first_chunk_bytes = kDefaultChunkBytes;
+    /// Advise the kernel (madvise(MADV_HUGEPAGE)) to back chunks of at
+    /// least kHugePageBytes with transparent huge pages, cutting TLB
+    /// misses on large sweeps.  Purely advisory: a refusal (non-Linux,
+    /// THP disabled) changes nothing but paging granularity.
+    bool huge_pages = false;
+  };
 
   explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes)
       : first_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
                                                   : first_chunk_bytes) {}
+
+  explicit Arena(const Options& options)
+      : first_chunk_bytes_(options.first_chunk_bytes == 0
+                               ? kDefaultChunkBytes
+                               : options.first_chunk_bytes),
+        huge_pages_(options.huge_pages) {}
 
   Arena(Arena&&) noexcept = default;
   Arena& operator=(Arena&&) noexcept = default;
@@ -88,6 +106,9 @@ class Arena {
     allocated_ = 0;
   }
 
+  /// Whether chunks are advised onto transparent huge pages.
+  bool huge_pages() const { return huge_pages_; }
+
   /// Total bytes handed out since the last Reset (excludes padding).
   std::size_t allocated_bytes() const { return allocated_; }
   /// Total bytes held in chunks (high-water capacity).
@@ -110,9 +131,13 @@ class Arena {
   };
 
   void* AllocateSlow(std::size_t bytes, std::size_t alignment);
+  /// Advises the page-aligned interior of `chunk` onto huge pages (no-op
+  /// off Linux or when the chunk is below kHugePageBytes).
+  void AdviseHugePages(const Chunk& chunk) const;
 
   std::vector<Chunk> chunks_;
   std::size_t first_chunk_bytes_;
+  bool huge_pages_ = false;
   std::size_t chunk_index_ = 0;  ///< chunk currently bumped into
   std::size_t cursor_ = 0;       ///< offset within the current chunk
   std::size_t allocated_ = 0;

@@ -1,0 +1,265 @@
+// simd.cpp — dispatch plumbing, the scalar reference kernels, and the
+// SSE2 tier (baseline ISA on x86-64, so it lives in this ordinary TU).
+// The AVX2 tier is in simd_avx2.cpp, the only TU built with -mavx2.
+#include "common/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define HOBBIT_SIMD_X86_64 1
+#include <emmintrin.h>
+#else
+#define HOBBIT_SIMD_X86_64 0
+#endif
+
+namespace hobbit::common::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier — the bit-exactness reference.  The reduction order here
+// (LaneAccumulator) *defines* the contract the vector tiers must match.
+
+double SquareAccumulateScalar(double* values, std::size_t count) {
+  LaneAccumulator acc;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double squared = values[i] * values[i];
+    values[i] = squared;
+    acc.Add(i, squared);
+  }
+  return acc.Combine();
+}
+
+double SumScalar(const double* values, std::size_t count) {
+  LaneAccumulator acc;
+  for (std::size_t i = 0; i < count; ++i) acc.Add(i, values[i]);
+  return acc.Combine();
+}
+
+void DivideScalar(double* values, std::size_t count, double divisor) {
+  for (std::size_t i = 0; i < count; ++i) values[i] /= divisor;
+}
+
+std::size_t FilterGeScalar(const double* values, const std::uint32_t* tags,
+                           std::size_t count, double threshold,
+                           std::pair<double, std::uint32_t>* out) {
+  // Branchless emit: always write the candidate pair at the cursor and
+  // advance only when it qualifies.  MCL prune scans hover around
+  // half-kept thresholds where a conditional store mispredicts ~every
+  // other element; the unconditional store is dependency-free.  (`out`
+  // has room for `count` pairs, so the dead writes are in bounds, and
+  // slots at/after the returned count are scratch by contract.)
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[kept] = {values[i], tags[i]};
+    kept += values[i] >= threshold ? 1 : 0;
+  }
+  return kept;
+}
+
+constexpr Kernels kScalarKernels{SquareAccumulateScalar, SumScalar,
+                                 DivideScalar, FilterGeScalar};
+
+#if HOBBIT_SIMD_X86_64
+
+// ---------------------------------------------------------------------------
+// SSE2 tier.  Four 2-lane accumulators cover the same 8 logical lanes as
+// the scalar reference: S0 holds lanes {0,1}, S1 {2,3}, S2 {4,5},
+// S3 {6,7}; storing them back in that order reproduces lane[0..7]
+// exactly, so the combine is shared with LaneAccumulator.
+
+double SquareAccumulateSse2(double* values, std::size_t count) {
+  __m128d s0 = _mm_setzero_pd();
+  __m128d s1 = _mm_setzero_pd();
+  __m128d s2 = _mm_setzero_pd();
+  __m128d s3 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kSumLanes <= count; i += kSumLanes) {
+    __m128d v0 = _mm_loadu_pd(values + i);
+    __m128d v1 = _mm_loadu_pd(values + i + 2);
+    __m128d v2 = _mm_loadu_pd(values + i + 4);
+    __m128d v3 = _mm_loadu_pd(values + i + 6);
+    v0 = _mm_mul_pd(v0, v0);
+    v1 = _mm_mul_pd(v1, v1);
+    v2 = _mm_mul_pd(v2, v2);
+    v3 = _mm_mul_pd(v3, v3);
+    _mm_storeu_pd(values + i, v0);
+    _mm_storeu_pd(values + i + 2, v1);
+    _mm_storeu_pd(values + i + 4, v2);
+    _mm_storeu_pd(values + i + 6, v3);
+    s0 = _mm_add_pd(s0, v0);
+    s1 = _mm_add_pd(s1, v1);
+    s2 = _mm_add_pd(s2, v2);
+    s3 = _mm_add_pd(s3, v3);
+  }
+  LaneAccumulator acc;
+  _mm_storeu_pd(acc.lane + 0, s0);
+  _mm_storeu_pd(acc.lane + 2, s1);
+  _mm_storeu_pd(acc.lane + 4, s2);
+  _mm_storeu_pd(acc.lane + 6, s3);
+  for (; i < count; ++i) {
+    const double squared = values[i] * values[i];
+    values[i] = squared;
+    acc.Add(i, squared);
+  }
+  return acc.Combine();
+}
+
+double SumSse2(const double* values, std::size_t count) {
+  __m128d s0 = _mm_setzero_pd();
+  __m128d s1 = _mm_setzero_pd();
+  __m128d s2 = _mm_setzero_pd();
+  __m128d s3 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kSumLanes <= count; i += kSumLanes) {
+    s0 = _mm_add_pd(s0, _mm_loadu_pd(values + i));
+    s1 = _mm_add_pd(s1, _mm_loadu_pd(values + i + 2));
+    s2 = _mm_add_pd(s2, _mm_loadu_pd(values + i + 4));
+    s3 = _mm_add_pd(s3, _mm_loadu_pd(values + i + 6));
+  }
+  LaneAccumulator acc;
+  _mm_storeu_pd(acc.lane + 0, s0);
+  _mm_storeu_pd(acc.lane + 2, s1);
+  _mm_storeu_pd(acc.lane + 4, s2);
+  _mm_storeu_pd(acc.lane + 6, s3);
+  for (; i < count; ++i) acc.Add(i, values[i]);
+  return acc.Combine();
+}
+
+void DivideSse2(double* values, std::size_t count, double divisor) {
+  const __m128d d = _mm_set1_pd(divisor);
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    _mm_storeu_pd(values + i, _mm_div_pd(_mm_loadu_pd(values + i), d));
+  }
+  for (; i < count; ++i) values[i] /= divisor;
+}
+
+std::size_t FilterGeSse2(const double* values, const std::uint32_t* tags,
+                         std::size_t count, double threshold,
+                         std::pair<double, std::uint32_t>* out) {
+  // Vector compare, branchless scalar emit (see FilterGeScalar): the
+  // mask bits become cursor increments, never branches.
+  const __m128d t = _mm_set1_pd(threshold);
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const int mask =
+        _mm_movemask_pd(_mm_cmpge_pd(_mm_loadu_pd(values + i), t));
+    out[kept] = {values[i], tags[i]};
+    kept += mask & 1;
+    out[kept] = {values[i + 1], tags[i + 1]};
+    kept += (mask >> 1) & 1;
+  }
+  for (; i < count; ++i) {
+    out[kept] = {values[i], tags[i]};
+    kept += values[i] >= threshold ? 1 : 0;
+  }
+  return kept;
+}
+
+constexpr Kernels kSse2Kernels{SquareAccumulateSse2, SumSse2, DivideSse2,
+                               FilterGeSse2};
+
+#endif  // HOBBIT_SIMD_X86_64
+
+std::atomic<int> g_active_tier{-1};
+
+}  // namespace
+
+#if HOBBIT_HAVE_AVX2_TU
+// Defined in simd_avx2.cpp (the -mavx2 TU); only reachable behind the
+// runtime cpuid probe below.
+extern const Kernels kAvx2Kernels;
+#endif
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+Tier MaxSupportedTier() {
+#if HOBBIT_SIMD_X86_64
+#if HOBBIT_HAVE_AVX2_TU && (defined(__GNUC__) || defined(__clang__))
+  static const bool has_avx2 = __builtin_cpu_supports("avx2");
+  if (has_avx2) return Tier::kAvx2;
+#endif
+  return Tier::kSse2;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+Tier ResolveTier(const char* request, Tier supported) {
+  if (request == nullptr || *request == '\0') return supported;
+  Tier wanted = supported;
+  if (std::strcmp(request, "scalar") == 0) {
+    wanted = Tier::kScalar;
+  } else if (std::strcmp(request, "sse2") == 0) {
+    wanted = Tier::kSse2;
+  } else if (std::strcmp(request, "avx2") == 0) {
+    wanted = Tier::kAvx2;
+  }
+  return static_cast<int>(wanted) < static_cast<int>(supported) ? wanted
+                                                                : supported;
+}
+
+Tier ActiveTier() {
+  int tier = g_active_tier.load(std::memory_order_relaxed);
+  if (tier < 0) {
+    // Benign first-use race: every initializer resolves the same value.
+    tier = static_cast<int>(
+        ResolveTier(std::getenv("HOBBIT_SIMD"), MaxSupportedTier()));
+    g_active_tier.store(tier, std::memory_order_relaxed);
+  }
+  return static_cast<Tier>(tier);
+}
+
+Tier SetActiveTier(Tier tier) {
+  const Tier supported = MaxSupportedTier();
+  if (static_cast<int>(tier) > static_cast<int>(supported)) tier = supported;
+  if (static_cast<int>(tier) < 0) tier = Tier::kScalar;
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+  return tier;
+}
+
+const Kernels& KernelsFor(Tier tier) {
+  if (static_cast<int>(tier) > static_cast<int>(MaxSupportedTier())) {
+    tier = MaxSupportedTier();
+  }
+  switch (tier) {
+    case Tier::kScalar:
+      return kScalarKernels;
+#if HOBBIT_SIMD_X86_64
+    case Tier::kSse2:
+      return kSse2Kernels;
+#if HOBBIT_HAVE_AVX2_TU
+    case Tier::kAvx2:
+      return kAvx2Kernels;
+#endif
+#endif
+    default:
+      return kScalarKernels;
+  }
+}
+
+std::string CpuFeatureString() {
+  switch (MaxSupportedTier()) {
+    case Tier::kAvx2:
+      return "avx2+sse2";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kScalar:
+      break;
+  }
+  return "scalar-only";
+}
+
+}  // namespace hobbit::common::simd

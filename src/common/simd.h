@@ -1,0 +1,133 @@
+// simd.h — runtime-dispatched vector kernels for the hot sweeps.
+//
+// PR 9 restructured the hottest loops into SIMD-friendly shapes (the
+// gathered SoA MCL column, the Eytzinger descent, 64-byte-aligned arena
+// chunks and snapshot sections); this layer supplies the vector kernels
+// those shapes were built for.  Three tiers:
+//
+//   kScalar  plain C++, always compiled — the bit-exactness reference
+//   kSse2    x86-64 baseline vectors (2 doubles/lane-pair)
+//   kAvx2    256-bit vectors, compiled into one isolated TU with -mavx2
+//            (the rest of the build stays baseline-ISA) and only ever
+//            entered after a cpuid probe says the host can run it
+//
+// Dispatch rules:
+//  * `MaxSupportedTier()` probes cpuid once (AVX2 needs both the
+//    compiled-in kernel TU and the cpu feature bit).
+//  * `ActiveTier()` starts from that probe, clamped down by the
+//    HOBBIT_SIMD environment variable ("scalar", "sse2", "avx2") — the
+//    override can never select a tier the host cannot execute.
+//  * `SetActiveTier()` (tests, tools) re-pins the process-wide tier; it
+//    clamps the same way.  The active tier is an atomic, so concurrent
+//    readers under TSan are clean.
+//
+// FP-identity contract (stronger than bounded-ULP: *every tier returns
+// identical bits*, so a forced-scalar run, an AVX2 run and any thread
+// count all produce byte-identical MCL matrices):
+//  * Elementwise kernels (`divide`, the squaring inside
+//    `square_accumulate`, `filter_ge`'s comparisons) are exact per IEEE
+//    lane semantics — a vector lane op rounds identically to the scalar
+//    op, so nothing is contracted (no FMA) and nothing reassociates.
+//  * Reductions (`sum`, the accumulation inside `square_accumulate`)
+//    use one fixed association order, chosen to be vector-friendly and
+//    implemented identically by every tier: element i accumulates into
+//    lane (i mod 8) in ascending i order, and the 8 lanes combine as
+//      c_j = lane[j] + lane[4 + j]   (j = 0..3)
+//      result = (c0 + c1) + (c2 + c3)
+//    `LaneAccumulator` below is the reference implementation of that
+//    order; callers that reduce non-contiguous values (e.g. the pruned
+//    AoS pairs in MclIterate) use it directly so their sums stay
+//    bit-identical to the contiguous kernel.
+//
+// The kernels own the MCL sweeps' inner loops (cluster/sparse.cpp); the
+// Eytzinger batch descent (serve/lookup.cpp) needs memory-level
+// parallelism rather than vector ALUs and stays plain C++ + prefetch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace hobbit::common::simd {
+
+enum class Tier : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Width of the fixed reduction order: element i sums into lane
+/// (i mod kSumLanes).  8 = two AVX2 accumulators, enough to hide the
+/// 4-cycle add latency chain that serializes a single-accumulator sum.
+inline constexpr std::size_t kSumLanes = 8;
+
+/// The reference implementation of the reduction order.  Scalar by
+/// construction; every vector `sum`/`square_accumulate` kernel must
+/// match it bit for bit (pinned by tests/test_simd.cpp).
+struct LaneAccumulator {
+  double lane[kSumLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  void Add(std::size_t i, double value) {
+    lane[i & (kSumLanes - 1)] += value;
+  }
+
+  double Combine() const {
+    const double c0 = lane[0] + lane[4];
+    const double c1 = lane[1] + lane[5];
+    const double c2 = lane[2] + lane[6];
+    const double c3 = lane[3] + lane[7];
+    return (c0 + c1) + (c2 + c3);
+  }
+};
+
+/// One tier's kernel table.  All pointers are always non-null.
+struct Kernels {
+  /// values[i] = values[i] * values[i]; returns the lane-ordered sum of
+  /// the squared values.  (The MCL inflation sweep at power == 2.0.)
+  double (*square_accumulate)(double* values, std::size_t count);
+  /// Lane-ordered sum of `values` (the normalization sweep's reduction).
+  double (*sum)(const double* values, std::size_t count);
+  /// values[i] /= divisor (exact per element in every tier).
+  void (*divide)(double* values, std::size_t count, double divisor);
+  /// Compacts {values[i], tags[i]} pairs with values[i] >= threshold
+  /// into `out` (ascending i), returning how many were kept.  `out`
+  /// must have room for `count` pairs.  (The MCL prune scan.)
+  std::size_t (*filter_ge)(const double* values, const std::uint32_t* tags,
+                           std::size_t count, double threshold,
+                           std::pair<double, std::uint32_t>* out);
+};
+
+const char* TierName(Tier tier);
+
+/// Highest tier this build + this cpu can execute (probed once).
+Tier MaxSupportedTier();
+inline bool TierSupported(Tier tier) {
+  return static_cast<int>(tier) <= static_cast<int>(MaxSupportedTier());
+}
+
+/// Pure resolution of an override string against a supported ceiling:
+/// "scalar"/"sse2"/"avx2" clamp to `supported`; null, empty or unknown
+/// requests resolve to `supported` itself.
+Tier ResolveTier(const char* request, Tier supported);
+
+/// The process-wide tier: HOBBIT_SIMD override (resolved lazily, once)
+/// clamped to MaxSupportedTier().
+Tier ActiveTier();
+/// Re-pins the process-wide tier (clamped to the supported ceiling).
+/// Returns the tier actually installed.
+Tier SetActiveTier(Tier tier);
+
+/// Kernel table for `tier`, clamped to the supported ceiling — asking
+/// for AVX2 on an SSE2-only host returns the SSE2 table.
+const Kernels& KernelsFor(Tier tier);
+inline const Kernels& Active() { return KernelsFor(ActiveTier()); }
+
+/// Human-readable cpu capability string for bench metadata, e.g.
+/// "avx2+sse2" or "scalar-only" — what the *hardware* supports, not the
+/// override, so checked-in BENCH files stay interpretable across
+/// machines.
+std::string CpuFeatureString();
+
+}  // namespace hobbit::common::simd

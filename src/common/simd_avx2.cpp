@@ -1,0 +1,132 @@
+// simd_avx2.cpp — the AVX2 kernel tier.  This is the ONLY translation
+// unit built with -mavx2 (see src/common/CMakeLists.txt): it holds raw
+// intrinsic kernels and nothing else, so no inline function from a
+// shared header can be compiled with AVX2 here and then picked by the
+// linker for a baseline-ISA caller.  Entry is guarded at runtime by the
+// cpuid probe in simd.cpp.
+//
+// Exactness: every kernel reproduces the scalar reference bit for bit —
+// elementwise lane ops round identically to their scalar forms (no FMA,
+// no reassociation), and the reductions use the fixed 8-lane order
+// documented in simd.h: accumulator A holds lanes 0..3, B lanes 4..7,
+// tails fold into the lane array scalar-style, and the combine runs
+// through LaneAccumulator itself.
+#include "common/simd.h"
+
+#include <immintrin.h>
+
+namespace hobbit::common::simd {
+namespace {
+
+double SquareAccumulateAvx2(double* values, std::size_t count) {
+  __m256d a = _mm256_setzero_pd();
+  __m256d b = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kSumLanes <= count; i += kSumLanes) {
+    __m256d lo = _mm256_loadu_pd(values + i);
+    __m256d hi = _mm256_loadu_pd(values + i + 4);
+    lo = _mm256_mul_pd(lo, lo);
+    hi = _mm256_mul_pd(hi, hi);
+    _mm256_storeu_pd(values + i, lo);
+    _mm256_storeu_pd(values + i + 4, hi);
+    a = _mm256_add_pd(a, lo);
+    b = _mm256_add_pd(b, hi);
+  }
+  LaneAccumulator acc;
+  _mm256_storeu_pd(acc.lane + 0, a);
+  _mm256_storeu_pd(acc.lane + 4, b);
+  for (; i < count; ++i) {
+    const double squared = values[i] * values[i];
+    values[i] = squared;
+    acc.Add(i, squared);
+  }
+  return acc.Combine();
+}
+
+double SumAvx2(const double* values, std::size_t count) {
+  __m256d a = _mm256_setzero_pd();
+  __m256d b = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kSumLanes <= count; i += kSumLanes) {
+    a = _mm256_add_pd(a, _mm256_loadu_pd(values + i));
+    b = _mm256_add_pd(b, _mm256_loadu_pd(values + i + 4));
+  }
+  LaneAccumulator acc;
+  _mm256_storeu_pd(acc.lane + 0, a);
+  _mm256_storeu_pd(acc.lane + 4, b);
+  for (; i < count; ++i) acc.Add(i, values[i]);
+  return acc.Combine();
+}
+
+void DivideAvx2(double* values, std::size_t count, double divisor) {
+  const __m256d d = _mm256_set1_pd(divisor);
+  std::size_t i = 0;
+  // Two independent divides per iteration: vdivpd is long-latency but
+  // partially pipelined, so overlapping a pair comes close to doubling
+  // throughput on cores with a pipelined divider.
+  for (; i + 8 <= count; i += 8) {
+    _mm256_storeu_pd(values + i, _mm256_div_pd(_mm256_loadu_pd(values + i), d));
+    _mm256_storeu_pd(values + i + 4,
+                     _mm256_div_pd(_mm256_loadu_pd(values + i + 4), d));
+  }
+  for (; i + 4 <= count; i += 4) {
+    _mm256_storeu_pd(values + i, _mm256_div_pd(_mm256_loadu_pd(values + i), d));
+  }
+  for (; i < count; ++i) values[i] /= divisor;
+}
+
+std::size_t FilterGeAvx2(const double* values, const std::uint32_t* tags,
+                         std::size_t count, double threshold,
+                         std::pair<double, std::uint32_t>* out) {
+  const __m256d t = _mm256_set1_pd(threshold);
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(v, t, _CMP_GE_OQ));
+    if (mask == 0xF) {
+      // All four kept — the common case of an MCL prune (thresholds sit
+      // far below the bulk of a normalized column).  Interleave values
+      // and zero-extended tags into the AoS pair layout
+      // {double, u32, pad} in registers and store 64 bytes straight:
+      //   unpacklo/hi give [v0 t0 v2 t2] / [v1 t1 v3 t3] per 128-bit
+      //   lane; the two cross-lane permutes reassemble sequential pairs.
+      const __m256i vals = _mm256_castpd_si256(v);
+      const __m256i tag64 = _mm256_cvtepu32_epi64(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags + i)));
+      const __m256i lo = _mm256_unpacklo_epi64(vals, tag64);
+      const __m256i hi = _mm256_unpackhi_epi64(vals, tag64);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + kept),
+                          _mm256_permute2x128_si256(lo, hi, 0x20));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + kept + 2),
+                          _mm256_permute2x128_si256(lo, hi, 0x31));
+      kept += 4;
+      continue;
+    }
+    if (mask == 0) continue;
+    // Mixed group: branchless emit, mask bits as cursor increments.
+    out[kept] = {values[i], tags[i]};
+    kept += mask & 1;
+    out[kept] = {values[i + 1], tags[i + 1]};
+    kept += (mask >> 1) & 1;
+    out[kept] = {values[i + 2], tags[i + 2]};
+    kept += (mask >> 2) & 1;
+    out[kept] = {values[i + 3], tags[i + 3]};
+    kept += (mask >> 3) & 1;
+  }
+  for (; i < count; ++i) {
+    out[kept] = {values[i], tags[i]};
+    kept += values[i] >= threshold ? 1 : 0;
+  }
+  return kept;
+}
+
+}  // namespace
+
+// `extern` because namespace-scope const defaults to internal linkage
+// and the dispatcher in simd.cpp links against this table.
+extern const Kernels kAvx2Kernels;
+const Kernels kAvx2Kernels{SquareAccumulateAvx2, SumAvx2, DivideAvx2,
+                           FilterGeAvx2};
+
+}  // namespace hobbit::common::simd

@@ -53,6 +53,63 @@ std::size_t EytzingerIndex::Descend(std::uint32_t key) const {
 template std::size_t EytzingerIndex::Descend<false>(std::uint32_t) const;
 template std::size_t EytzingerIndex::Descend<true>(std::uint32_t) const;
 
+template <bool kUpper>
+void EytzingerIndex::DescendBatch(const std::uint32_t* queries,
+                                  std::size_t count,
+                                  std::size_t* nodes) const {
+  const std::uint32_t* keys = keys_.data();
+  const std::size_t tree = count_;
+  std::size_t k[kBatchWidth];
+  for (std::size_t i = 0; i < count; ++i) k[i] = 1;
+  // One pass per tree level: every live descent issues its level-load
+  // before any of them blocks on a comparison, so up to `count` cache
+  // misses are in flight at once.  Descents reaching a leaf early (the
+  // tree's last level is ragged) go dormant and the pass cost shrinks.
+  bool live = tree > 0;
+  while (live) {
+    live = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t node = k[i];
+      if (node > tree) continue;
+#if defined(__GNUC__) || defined(__clang__)
+      if ((node << 4) <= tree) __builtin_prefetch(&keys[node << 4]);
+#endif
+      std::size_t next;
+      if constexpr (kUpper) {
+        next = 2 * node + (keys[node] <= queries[i]);
+      } else {
+        next = 2 * node + (keys[node] < queries[i]);
+      }
+      k[i] = next;
+      live |= next <= tree;
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    // Same trailing-ones fixup as the single-key descent.
+    nodes[i] = k[i] >> (static_cast<unsigned>(std::countr_one(k[i])) + 1);
+  }
+}
+
+template void EytzingerIndex::DescendBatch<false>(const std::uint32_t*,
+                                                  std::size_t,
+                                                  std::size_t*) const;
+template void EytzingerIndex::DescendBatch<true>(const std::uint32_t*,
+                                                 std::size_t,
+                                                 std::size_t*) const;
+
+void EytzingerIndex::LowerBoundRankBatch(const std::uint32_t* queries,
+                                         std::size_t count,
+                                         std::size_t* ranks) const {
+  std::size_t nodes[kBatchWidth];
+  for (std::size_t base = 0; base < count; base += kBatchWidth) {
+    const std::size_t group = std::min(kBatchWidth, count - base);
+    DescendBatch<false>(queries + base, group, nodes);
+    for (std::size_t i = 0; i < group; ++i) {
+      ranks[base + i] = nodes[i] == 0 ? count_ : ranks_[nodes[i]];
+    }
+  }
+}
+
 EytzingerIndex EytzingerIndex::Build(const Snapshot& snapshot) {
   const std::size_t count = snapshot.entry_count();
   EytzingerIndex index;
@@ -150,8 +207,37 @@ void LookupEngine::LookupBatch(std::span<const std::uint32_t> keys,
   // one adjacent slice of the answer array instead of striding it, and
   // the grain keeps small batches from paying a dispatch at all — a
   // single binary search is tens of nanoseconds, so only thousands of
-  // them are worth waking a worker for.
+  // them are worth waking a worker for.  With an Eytzinger index
+  // attached each worker additionally walks its slice kBatchWidth
+  // descents at a time (LowerBoundRankBatch), overlapping the cache
+  // misses that dominate out-of-cache lookups; the answers are pinned
+  // identical to the per-key path by differential tests.
   constexpr std::size_t kLookupGrain = 4096;
+  if (index_ != nullptr) {
+    const std::size_t entry_count = snapshot_->entry_count();
+    common::ForEachChunk(
+        pool, keys.size(), kLookupGrain, [&](common::ChunkRange chunk) {
+          constexpr std::size_t kWidth = EytzingerIndex::kBatchWidth;
+          std::size_t ranks[kWidth];
+          for (std::size_t base = chunk.begin; base < chunk.end;
+               base += kWidth) {
+            const std::size_t group = std::min(kWidth, chunk.end - base);
+            index_->LowerBoundRankBatch(keys.data() + base, group, ranks);
+            for (std::size_t i = 0; i < group; ++i) {
+              const std::uint32_t key = keys[base + i];
+              const std::size_t pos = ranks[i];
+              if (pos == entry_count || snapshot_->EntryKey(pos) != key) {
+                answers[base + i] = LookupResult{};
+              } else {
+                answers[base + i] =
+                    LookupResult{true, key, snapshot_->EntryBlock(pos),
+                                 snapshot_->EntryClass(pos)};
+              }
+            }
+          }
+        });
+    return;
+  }
   common::ForEachChunk(pool, keys.size(), kLookupGrain,
                        [&](common::ChunkRange chunk) {
                          for (std::size_t i = chunk.begin; i < chunk.end;

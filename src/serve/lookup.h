@@ -41,6 +41,11 @@ namespace hobbit::serve {
 class EytzingerIndex {
  public:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  /// Descents walked in lockstep by the batched entry points.  16
+  /// independent descents keep ~16 cache misses in flight per tree
+  /// level (memory-level parallelism), where a one-at-a-time descent
+  /// serializes on each level's load.
+  static constexpr std::size_t kBatchWidth = 16;
 
   EytzingerIndex() = default;
 
@@ -72,11 +77,27 @@ class EytzingerIndex {
     return ranks_[k];
   }
 
+  /// Batched LowerBoundRank: ranks[i] = LowerBoundRank(queries[i]) for
+  /// all `count` queries, computed kBatchWidth descents at a time in
+  /// lockstep (identical comparisons, so identical answers — pinned by
+  /// differential tests).  The serve tier's BATCH path runs through
+  /// this to amortize memory latency across keys.
+  void LowerBoundRankBatch(const std::uint32_t* queries, std::size_t count,
+                           std::size_t* ranks) const;
+
  private:
   /// Branchless heap descent.  Returns the 1-based node of the first key
   /// >= `key` (kUpper: > `key`), or 0 when no such key exists.
   template <bool kUpper>
   std::size_t Descend(std::uint32_t key) const;
+
+  /// Lockstep descent of `count` (<= kBatchWidth) queries: one pass per
+  /// tree level issues every live descent's load back to back, so the
+  /// misses overlap instead of chaining.  nodes[i] gets Descend's
+  /// result for queries[i].
+  template <bool kUpper>
+  void DescendBatch(const std::uint32_t* queries, std::size_t count,
+                    std::size_t* nodes) const;
 
   /// keys_[1..count_] in BFS order; slot 0 unused.  ranks_[k] is the
   /// sorted index of keys_[k].

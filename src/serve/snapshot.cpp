@@ -245,7 +245,9 @@ std::vector<std::byte> CompileSnapshotV2(
 // MmapSource
 
 std::shared_ptr<const MmapSource> MmapSource::Map(const std::string& path,
-                                                  std::string* error) {
+                                                  std::string* error,
+                                                  PrefaultMode prefault) {
+  (void)prefault;  // unused on platforms without mmap
   auto source = std::shared_ptr<MmapSource>(new MmapSource());
 #if HOBBIT_HAS_MMAP
   int fd = ::open(path.c_str(), O_RDONLY);
@@ -261,11 +263,28 @@ std::shared_ptr<const MmapSource> MmapSource::Map(const std::string& path,
   }
   const std::size_t size = static_cast<std::size_t>(st.st_size);
   if (size > 0) {
-    void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    int flags = MAP_PRIVATE;
+#if defined(MAP_POPULATE)
+    // Synchronous prefault: every page is resident when mmap returns,
+    // so no query ever takes a major fault.
+    if (prefault == PrefaultMode::kPopulate) flags |= MAP_POPULATE;
+#endif
+    void* data = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
     if (data != MAP_FAILED) {
       source->data_ = data;
       source->size_ = size;
       source->mapped_ = true;
+#if defined(POSIX_MADV_WILLNEED)
+      // Async readahead (also the fallback when MAP_POPULATE does not
+      // exist on this platform): advisory, failures ignored.
+      bool want_readahead = prefault == PrefaultMode::kWillNeed;
+#if !defined(MAP_POPULATE)
+      want_readahead |= prefault == PrefaultMode::kPopulate;
+#endif
+      if (want_readahead) {
+        (void)::posix_madvise(data, size, POSIX_MADV_WILLNEED);
+      }
+#endif
     }
   }
   ::close(fd);
@@ -574,7 +593,8 @@ std::optional<Snapshot> Snapshot::FromFile(const std::string& path,
                                            std::string* error,
                                            const SnapshotLoadOptions& options) {
   if (options.use_mmap) {
-    std::shared_ptr<const MmapSource> source = MmapSource::Map(path, error);
+    std::shared_ptr<const MmapSource> source =
+        MmapSource::Map(path, error, options.prefault);
     if (source == nullptr) return std::nullopt;
     Snapshot snapshot;
     snapshot.map_ = std::move(source);

@@ -168,6 +168,16 @@ std::vector<std::byte> CompileSnapshotV2(
     std::span<const ClassifiedPrefix> classified = {},
     std::uint64_t epoch = 0);
 
+/// How aggressively a mapped snapshot is faulted into memory at map
+/// time.  Demand paging (kNone) gives the fastest cold start but pays a
+/// major-fault stall on first touch of every queried page; the prefault
+/// modes trade startup latency for warm first queries.
+enum class PrefaultMode : std::uint8_t {
+  kNone = 0,   ///< demand paging (default)
+  kWillNeed,   ///< madvise(MADV_WILLNEED): kick off async readahead
+  kPopulate,   ///< MAP_POPULATE: synchronously fault every page at map
+};
+
 /// How FromFile/FromBuffer acquire and verify a snapshot.
 struct SnapshotLoadOptions {
   /// FromFile only: mmap the file (MAP_PRIVATE, read-only) instead of
@@ -181,6 +191,9 @@ struct SnapshotLoadOptions {
   /// snapshot: nothing is faulted in until it is queried.  Callers can
   /// run the deferred work later via Snapshot::VerifyPayload.
   bool defer_verification = false;
+  /// Mapped loads only (no-op for owned reads, which fault everything
+  /// by construction): how much of the file to fault in at map time.
+  PrefaultMode prefault = PrefaultMode::kNone;
 };
 
 /// A read-only mapped file (or, on platforms without mmap, an owned copy
@@ -189,9 +202,13 @@ struct SnapshotLoadOptions {
 class MmapSource {
  public:
   /// Maps `path` read-only.  Returns null (with a message in *error)
-  /// when the file cannot be opened or mapped.
-  static std::shared_ptr<const MmapSource> Map(const std::string& path,
-                                               std::string* error = nullptr);
+  /// when the file cannot be opened or mapped.  `prefault` selects how
+  /// much of the mapping is faulted in up front (kPopulate adds
+  /// MAP_POPULATE; kWillNeed issues madvise(MADV_WILLNEED); both fall
+  /// back to demand paging where unsupported).
+  static std::shared_ptr<const MmapSource> Map(
+      const std::string& path, std::string* error = nullptr,
+      PrefaultMode prefault = PrefaultMode::kNone);
   ~MmapSource();
 
   MmapSource(const MmapSource&) = delete;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/parallel.h"
 #include "serve/delta.h"
 #include "serve/snapshot.h"
@@ -43,7 +44,16 @@ class Aggregator {
                      result.probes_used};
     if (core::IsHomogeneous(result.classification) &&
         !result.last_hop_set.empty()) {
-      groups_[result.last_hop_set].push_back(result.prefix);
+      // Member lists live in the arena: growth is a pointer bump (a
+      // segment chain, so no reallocation copies either) and the whole
+      // per-campaign state is freed in one shot.  The map node itself
+      // stays heap-side — it owns the non-trivially-destructible key.
+      auto [it, inserted] = groups_.try_emplace(result.last_hop_set, nullptr);
+      if (inserted) {
+        void* slot = arena_.Allocate(sizeof(MemberList), alignof(MemberList));
+        it->second = new (slot) MemberList(&arena_);
+      }
+      it->second->push_back(result.prefix);
     }
     ++since_publish_;
     if (config_.store != nullptr && config_.publish_every > 0 &&
@@ -59,6 +69,7 @@ class Aggregator {
     out_->records.reserve(records_.size());
     for (const auto& [key, record] : records_) out_->records.push_back(record);
     out_->blocks = BuildBlocks();
+    out_->stats.aggregator_arena_reserved_bytes = arena_.reserved_bytes();
     if (config_.store != nullptr) {
       // Publish the final state unless the last periodic publish already
       // covered it (then the served snapshot IS the final state).
@@ -85,7 +96,8 @@ class Aggregator {
     for (const auto& [set, members] : groups_) {
       cluster::AggregateBlock block;
       block.last_hops = set;
-      block.member_24s = members;
+      block.member_24s.reserve(members->size());
+      members->AppendTo(block.member_24s);
       std::sort(block.member_24s.begin(), block.member_24s.end());
       blocks.push_back(std::move(block));
     }
@@ -155,10 +167,21 @@ class Aggregator {
     }
   }
 
+  /// Arena-resident growable member list (netsim::Prefix is trivially
+  /// destructible, so it satisfies the arena's no-destructor rule).
+  using MemberList = common::ArenaVector<netsim::Prefix>;
+
   const StreamConfig& config_;
   StreamResult* out_;
-  std::map<std::vector<netsim::Ipv4Address>, std::vector<netsim::Prefix>>
-      groups_;
+  /// Per-group /24 member lists, bump-allocated in arena_.  This is the
+  /// aggregator's retained (per-campaign) state; the *in-flight* probe
+  /// results stay bounded by the queue exactly as before — the PR 7
+  /// residency assertion (peak_inflight_results <= inflight_bound) is
+  /// re-checked by tests/test_stream.cpp and gated by bench_stream.
+  common::Arena arena_{
+      common::Arena::Options{common::Arena::kDefaultChunkBytes,
+                             /*huge_pages=*/true}};
+  std::map<std::vector<netsim::Ipv4Address>, MemberList*> groups_;
   std::map<std::uint32_t, StreamRecord> records_;
   std::size_t since_publish_ = 0;
   /// The snapshot the next patch diffs against (what the store serves).

@@ -111,6 +111,9 @@ struct StreamStats {
   std::size_t delta_publishes = 0;  ///< of which HSPT patches
   std::uint64_t delta_entries = 0;  ///< cumulative patch upserts+removes
   std::size_t publish_failures = 0; ///< store rejected a publish (bug)
+  /// High-water capacity of the aggregator's member-list arena — the
+  /// retained per-group state, bump-allocated instead of malloc'd.
+  std::size_t aggregator_arena_reserved_bytes = 0;
   /// verify_full_reference: publishes whose served bytes differed from
   /// the full recompile.  Anything nonzero is a delta-path bug.
   std::size_t reference_mismatches = 0;

@@ -38,6 +38,7 @@ int Usage() {
   std::cerr <<
       "usage: hobbit_serve [--snapshot FILE] [--threads N] [--stdio]\n"
       "                    [--mmap] [--mmap-verify]\n"
+      "                    [--prefault [populate|willneed]]\n"
       "                    [--listen ADDR] [--port P]\n"
       "                    [--max-connections N] [--idle-timeout-ms T]\n"
       "                    [--use-poll]\n"
@@ -45,10 +46,14 @@ int Usage() {
       "  start empty and load via RELOAD.  --mmap serves snapshots\n"
       "  zero-copy straight from the page cache with per-section\n"
       "  checksums deferred (structural checks still run at load);\n"
-      "  --mmap-verify maps but verifies checksums up front.  Default\n"
-      "  transport is stdin/stdout; --listen/--port starts the\n"
-      "  multi-client TCP server (--port 0 picks an ephemeral port,\n"
-      "  printed to stderr).\n";
+      "  --mmap-verify maps but verifies checksums up front.\n"
+      "  --prefault faults the mapped snapshot in at load time instead\n"
+      "  of on first query: 'populate' (the default) blocks until every\n"
+      "  page is resident (MAP_POPULATE), 'willneed' kicks off async\n"
+      "  readahead (madvise).  Only meaningful with --mmap/--mmap-verify\n"
+      "  and applies to RELOADs too.  Default transport is\n"
+      "  stdin/stdout; --listen/--port starts the multi-client TCP\n"
+      "  server (--port 0 picks an ephemeral port, printed to stderr).\n";
   return 2;
 }
 
@@ -72,6 +77,18 @@ int main(int argc, char** argv) {
     } else if (flag == "--mmap-verify") {
       load_options.use_mmap = true;
       load_options.defer_verification = false;
+    } else if (flag == "--prefault") {
+      load_options.prefault = hobbit::serve::PrefaultMode::kPopulate;
+      // Optional mode argument; anything else is the next flag.
+      if (i + 1 < argc) {
+        const std::string mode = argv[i + 1];
+        if (mode == "populate") {
+          ++i;
+        } else if (mode == "willneed") {
+          load_options.prefault = hobbit::serve::PrefaultMode::kWillNeed;
+          ++i;
+        }
+      }
     } else if (flag == "--stdio") {
       stdio = true;
     } else if (flag == "--listen" && i + 1 < argc) {

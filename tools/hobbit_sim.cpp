@@ -16,7 +16,7 @@
 //   hobbit_sim lookup     <prefix/24> --blocks FILE
 //   hobbit_sim export-snapshot --out FILE [--blocks FILE [--results FILE]]
 //                         [--seed N] [--scale S] [--threads T] [--mcl]
-//                         [--epoch E]
+//                         [--epoch E] [--v2]
 //   hobbit_sim stream-campaign [--seed N] [--scale S] [--threads T]
 //                         [--window W] [--segment B] [--publish-every K]
 //                         [--churn-every M] [--verify] [--out FILE]
@@ -450,8 +450,9 @@ int CmdExportSnapshot(const Args& args) {
     classified = serve::ClassifiedFrom(
         std::span<const core::BlockResult>(result.results));
   }
-  // --v2 emits the 64-byte-aligned mmap-servable layout (HSNP v2);
-  // default stays the v1 packed form.
+  // Default layout is the v1 packed form; --v2 emits the 64-byte-aligned
+  // mmap-servable layout (HSNP v2) — pair it with `hobbit_serve --mmap`
+  // for zero-copy serving.  (README "Serving snapshots" documents both.)
   std::vector<std::byte> snapshot =
       args.Has("v2") ? serve::CompileSnapshotV2(blocks, classified, epoch)
                      : serve::CompileSnapshot(blocks, classified, epoch);
@@ -465,7 +466,7 @@ int CmdExportSnapshot(const Args& args) {
   std::cout << "snapshot (" << blocks.size() << " blocks, "
             << classified.size() << " classified /24s, "
             << snapshot.size() << " bytes, epoch " << epoch
-            << (args.Has("v2") ? ", v2" : "") << ") -> "
+            << (args.Has("v2") ? ", v2" : ", v1") << ") -> "
             << args.Get("out", "") << "\n";
   return 0;
 }
